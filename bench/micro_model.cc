@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microbenchmark: inference cost of the predictive model — the
+ * operation a real controller would run at every phase change.
+ * Compares double-precision argmax(Wᵀx) with the int8 perceptron-
+ * style path of Sec. VIII.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "counters/feature_vector.hh"
+#include "ml/quantised.hh"
+#include "ml/trainer.hh"
+
+using namespace adaptsim;
+
+namespace
+{
+
+/** A deterministic synthetic feature vector of the advanced size. */
+std::vector<double>
+syntheticFeatures()
+{
+    const std::size_t dim = counters::featureDimension(
+        counters::FeatureSet::Advanced);
+    std::vector<double> x(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        x[i] = double((i * 2654435761u) % 1000) / 1000.0;
+    return x;
+}
+
+ml::AdaptivityModel
+syntheticModel()
+{
+    const std::size_t dim = counters::featureDimension(
+        counters::FeatureSet::Advanced);
+    ml::AdaptivityModel model(dim);
+    // Perturb the all-ones weights deterministically so argmaxes are
+    // non-trivial.
+    for (auto p : space::allParams()) {
+        auto &w = model.classifier(p).weights().data();
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] = double((i * 40503u) % 997) / 997.0 - 0.5;
+    }
+    return model;
+}
+
+void
+BM_ModelPredict(benchmark::State &state)
+{
+    const auto model = syntheticModel();
+    const auto x = syntheticFeatures();
+    for (auto _ : state) {
+        auto cfg = model.predict(x);
+        benchmark::DoNotOptimize(cfg);
+    }
+}
+
+void
+BM_QuantisedPredict(benchmark::State &state)
+{
+    const auto model = syntheticModel();
+    const ml::QuantisedModel quantised(model);
+    const auto x = syntheticFeatures();
+    for (auto _ : state) {
+        auto cfg = quantised.predict(x);
+        benchmark::DoNotOptimize(cfg);
+    }
+}
+
+void
+BM_FeatureQuantisation(benchmark::State &state)
+{
+    const auto x = syntheticFeatures();
+    for (auto _ : state) {
+        auto q = ml::quantiseFeatures(x);
+        benchmark::DoNotOptimize(q.data());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_ModelPredict)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QuantisedPredict)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FeatureQuantisation)->Unit(benchmark::kMicrosecond);

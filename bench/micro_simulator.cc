@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Microbenchmark: timing-simulator throughput (µops simulated per
+ * second) for representative configurations and workloads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/gather.hh"
+#include "uarch/core.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+namespace
+{
+
+void
+simulatorThroughput(benchmark::State &state,
+                    const std::string &program,
+                    const space::Configuration &config)
+{
+    const auto wl = workload::specBenchmark(program, 400000);
+    const auto warm = wl.generate(92000, 8000);
+    const auto trace = wl.generate(100000, 6000);
+    const auto cc = uarch::CoreConfig::fromConfiguration(config);
+
+    for (auto _ : state) {
+        workload::WrongPathGenerator wp(wl.averageParams(),
+                                        wl.seed() ^ 0x57a71cULL);
+        uarch::Core core(cc, wp);
+        core.warm(warm);
+        auto result = core.run(trace);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetItemsProcessed(
+        std::int64_t(state.iterations()) *
+        std::int64_t(warm.size() + trace.size()));
+}
+
+void
+BM_Sim_EonBaseline(benchmark::State &state)
+{
+    simulatorThroughput(state, "eon",
+                        harness::paperBaselineConfig());
+}
+
+void
+BM_Sim_McfBaseline(benchmark::State &state)
+{
+    simulatorThroughput(state, "mcf",
+                        harness::paperBaselineConfig());
+}
+
+void
+BM_Sim_EonProfiling(benchmark::State &state)
+{
+    simulatorThroughput(state, "eon",
+                        space::Configuration::profiling());
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto wl = workload::specBenchmark("gcc", 400000);
+    for (auto _ : state) {
+        auto trace = wl.generate(100000, 6000);
+        benchmark::DoNotOptimize(trace.data());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 6000);
+}
+
+} // namespace
+
+BENCHMARK(BM_Sim_EonBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sim_McfBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sim_EonProfiling)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one synthetic SPEC-2000-style workload on two
+ * microarchitectural configurations and compare the paper's
+ * energy-efficiency metric (ips³/W).
+ *
+ * Build:  cmake -B build -G Ninja && cmake --build build
+ * Run:    ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/gather.hh"
+#include "power/metrics.hh"
+#include "uarch/core.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+int
+main()
+{
+    // 1. Build a workload (a synthetic stand-in for SPEC's gzip).
+    const auto wl = workload::specBenchmark("gzip", 400000);
+    std::printf("workload: %s (%llu µops, %zu phases of behaviour)\n",
+                wl.name().c_str(),
+                static_cast<unsigned long long>(
+                    wl.totalInstructions()),
+                wl.numSegments());
+
+    // 2. Pick two design points: the paper's Table III baseline and
+    //    a small low-power point.
+    const auto baseline = harness::paperBaselineConfig();
+    auto small = space::Configuration::fromValues(
+        {2, 48, 16, 16, 48, 2, 1, 2048, 1024, 8,
+         16 * 1024, 16 * 1024, 256 * 1024, 24});
+
+    // 3. Simulate an interval of the program on each.
+    const auto warm = wl.generate(92000, 8000);
+    const auto trace = wl.generate(100000, 10000);
+
+    for (const auto &[name, cfg] :
+         {std::pair{"baseline", baseline},
+          std::pair{"small", small}}) {
+        workload::WrongPathGenerator wp(wl.averageParams(),
+                                        wl.seed() ^ 0x57a71cULL);
+        const auto cc = uarch::CoreConfig::fromConfiguration(cfg);
+        uarch::Core core(cc, wp);
+        core.warm(warm);              // Sec. V-A structure warm-up
+        const auto result = core.run(trace);
+        const auto m = power::computeMetrics(cc, result.events);
+
+        std::printf("\n[%s] %s\n", name, cc.toString().c_str());
+        std::printf("  clock %.2f GHz | IPC %.3f | %.2f W | "
+                    "mispredict %.1f%% | L1D miss %.1f%%\n",
+                    cc.clockHz / 1e9, m.ipc, m.watts,
+                    result.events.condBranches ?
+                        100.0 * double(result.events.mispredicts) /
+                            double(result.events.condBranches) :
+                        0.0,
+                    result.events.dcAccesses ?
+                        100.0 * double(result.events.dcMisses) /
+                            double(result.events.dcAccesses) :
+                        0.0);
+        std::printf("  energy efficiency (ips^3/W): %.3e\n",
+                    m.efficiency);
+    }
+
+    std::printf("\nNext steps: see examples/phase_explorer.cpp for "
+                "phase analysis,\nexamples/train_custom_model.cpp "
+                "for model training, and\n"
+                "examples/adaptive_vs_static.cpp for the full "
+                "runtime controller.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Training walkthrough: gather a small amount of training data on a
+ * few programs, train the per-parameter soft-max model, inspect a
+ * prediction, and quantise the model to its 8-bit hardware form.
+ *
+ * This is the Sec. IV-V methodology end to end, scaled down to run
+ * in well under a minute; the full-suite version lives in the bench
+ * harness (bench/fig4_model_vs_static and friends).
+ */
+
+#include <cstdio>
+
+#include "harness/baselines.hh"
+#include "harness/gather.hh"
+#include "ml/quantised.hh"
+#include "phase/simpoint.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+int
+main()
+{
+    constexpr std::uint64_t program_length = 120000;
+    constexpr std::uint64_t interval = 4000;
+    constexpr std::uint64_t warm = 4000;
+
+    const std::vector<std::string> train_programs = {
+        "swim", "crafty", "mcf", "eon"};
+    const std::string test_program = "mgrid";
+
+    // Repository over the programs we use (memoised to ./data).
+    std::vector<workload::Workload> suite;
+    for (const auto &name : train_programs)
+        suite.push_back(
+            workload::specBenchmark(name, program_length));
+    suite.push_back(
+        workload::specBenchmark(test_program, program_length));
+    harness::EvalRepository repo(suite, "data", 0);
+
+    // 1. Extract a few phases per program and gather training data.
+    phase::SimPointOptions sp;
+    sp.intervalLength = interval;
+    sp.maxPhases = 3;
+    std::vector<phase::Phase> phases;
+    for (const auto &name : train_programs) {
+        const auto ph =
+            phase::extractPhases(repo.workload(name), sp);
+        phases.insert(phases.end(), ph.begin(), ph.end());
+    }
+    harness::GatherOptions gather;
+    gather.sharedRandomConfigs = 24;
+    gather.localNeighbours = 6;
+    gather.oneAtATimeSweep = false;
+    std::printf("gathering training data on %zu phases...\n",
+                phases.size());
+    const auto gathered = harness::gatherTrainingData(
+        repo, phases, program_length, warm, gather);
+
+    // 2. Train the model (λ = 0.5, good set = within 5% of best).
+    std::vector<ml::PhaseData> data;
+    for (const auto &g : gathered)
+        data.push_back(
+            g.toPhaseData(counters::FeatureSet::Advanced));
+    const auto model = ml::trainModel(data, {});
+    std::printf("trained %zu weights over %zu features\n",
+                model.totalWeights(), model.featureDim());
+
+    // 3. Predict for an unseen program's phase.
+    const auto test_phases =
+        phase::extractPhases(repo.workload(test_program), sp);
+    const auto &target = test_phases.front();
+    harness::PhaseSpec spec{test_program, program_length,
+                            target.startInst, warm, interval};
+    const auto features = repo.profile(spec);
+    const auto predicted = model.predict(features.advanced);
+    std::printf("\nprediction for unseen %s phase @%llu:\n  %s\n",
+                test_program.c_str(),
+                static_cast<unsigned long long>(target.startInst),
+                predicted.toString().c_str());
+
+    const auto predicted_eval = repo.evaluate(spec, predicted);
+    const auto baseline_eval =
+        repo.evaluate(spec, harness::paperBaselineConfig());
+    std::printf("  efficiency: %.3e (%.2fx the Table III baseline)\n",
+                predicted_eval.efficiency,
+                predicted_eval.efficiency /
+                    baseline_eval.efficiency);
+
+    // 4. Quantise to the 8-bit hardware inference form (Sec. VIII).
+    const ml::QuantisedModel quantised(model);
+    const auto q_predicted = quantised.predict(features.advanced);
+    std::printf("\nint8 model: %zu bytes of weights, prediction %s "
+                "the full-precision one\n",
+                quantised.storageBytes(),
+                q_predicted == predicted ? "matches" :
+                                           "differs from");
+    repo.flush();
+    return 0;
+}

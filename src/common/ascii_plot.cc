@@ -1,0 +1,184 @@
+#include "common/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace adaptsim
+{
+
+namespace
+{
+
+std::string
+formatNum(double v)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+barChart(const std::string &title, const std::vector<BarDatum> &data,
+         std::size_t width)
+{
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    double max_v = 0.0;
+    std::size_t label_w = 0;
+    for (const auto &d : data) {
+        max_v = std::max(max_v, d.value);
+        label_w = std::max(label_w, d.label.size());
+    }
+    if (max_v <= 0.0)
+        max_v = 1.0;
+    for (const auto &d : data) {
+        const std::size_t len = static_cast<std::size_t>(
+            std::round(d.value / max_v * static_cast<double>(width)));
+        os << d.label << std::string(label_w - d.label.size(), ' ')
+           << " |" << std::string(len, '#') << ' ' << formatNum(d.value)
+           << '\n';
+    }
+    return os.str();
+}
+
+std::string
+groupedBarChart(const std::string &title,
+                const std::vector<std::string> &series_names,
+                const std::vector<std::string> &labels,
+                const std::vector<std::vector<double>> &values,
+                std::size_t width)
+{
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    double max_v = 0.0;
+    std::size_t label_w = 0;
+    std::size_t series_w = 0;
+    for (const auto &l : labels)
+        label_w = std::max(label_w, l.size());
+    for (const auto &s : series_names)
+        series_w = std::max(series_w, s.size());
+    for (const auto &row : values)
+        for (double v : row)
+            max_v = std::max(max_v, v);
+    if (max_v <= 0.0)
+        max_v = 1.0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        for (std::size_t s = 0; s < series_names.size(); ++s) {
+            const double v =
+                i < values.size() && s < values[i].size() ?
+                values[i][s] : 0.0;
+            const std::size_t len = static_cast<std::size_t>(
+                std::round(v / max_v * static_cast<double>(width)));
+            const std::string &lbl = s == 0 ? labels[i] : "";
+            os << lbl << std::string(label_w - lbl.size(), ' ') << ' '
+               << series_names[s]
+               << std::string(series_w - series_names[s].size(), ' ')
+               << " |" << std::string(len, s == 0 ? '#' : '=') << ' '
+               << formatNum(v) << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+linePlot(const std::string &title, const std::vector<double> &xs,
+         const std::vector<std::string> &series_names,
+         const std::vector<std::vector<double>> &series,
+         std::size_t width, std::size_t height)
+{
+    static const char glyphs[] = "*o+x@%&";
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    if (xs.empty() || series.empty())
+        return os.str();
+
+    double lo = series[0][0], hi = series[0][0];
+    for (const auto &s : series) {
+        for (double v : s) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    std::vector<std::string> raster(height, std::string(width, ' '));
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        const char glyph = glyphs[s % (sizeof(glyphs) - 1)];
+        const std::size_t n = std::min(xs.size(), series[s].size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t col = n <= 1 ? 0 :
+                i * (width - 1) / (n - 1);
+            const double frac = (series[s][i] - lo) / (hi - lo);
+            const std::size_t row = height - 1 -
+                static_cast<std::size_t>(
+                    std::round(frac * static_cast<double>(height - 1)));
+            raster[row][col] = glyph;
+        }
+    }
+
+    os << formatNum(hi) << '\n';
+    for (const auto &line : raster)
+        os << '|' << line << '\n';
+    os << formatNum(lo) << ' '
+       << std::string(width > 12 ? width - 12 : 0, ' ')
+       << "x: " << formatNum(xs.front()) << ".." << formatNum(xs.back())
+       << '\n';
+    for (std::size_t s = 0; s < series_names.size(); ++s) {
+        os << "  " << glyphs[s % (sizeof(glyphs) - 1)] << " = "
+           << series_names[s] << '\n';
+    }
+    return os.str();
+}
+
+std::string
+violinLine(const std::string &label, std::vector<double> values,
+           std::size_t width)
+{
+    std::ostringstream os;
+    if (values.empty()) {
+        os << label << " (no data)\n";
+        return os.str();
+    }
+    std::sort(values.begin(), values.end());
+    const double lo = values.front();
+    const double hi = values.back();
+    const double q1 = percentile(values, 25.0);
+    const double q2 = percentile(values, 50.0);
+    const double q3 = percentile(values, 75.0);
+
+    // Density sparkline across [lo, hi].
+    std::string spark(width, ' ');
+    static const char levels[] = " .:-=+*#";
+    std::vector<std::size_t> bins(width, 0);
+    const double span = hi > lo ? hi - lo : 1.0;
+    for (double v : values) {
+        std::size_t b = static_cast<std::size_t>(
+            (v - lo) / span * static_cast<double>(width - 1));
+        bins[std::min(b, width - 1)]++;
+    }
+    const std::size_t peak =
+        *std::max_element(bins.begin(), bins.end());
+    for (std::size_t i = 0; i < width; ++i) {
+        const std::size_t lvl = peak == 0 ? 0 :
+            bins[i] * (sizeof(levels) - 2) / peak;
+        spark[i] = levels[lvl];
+    }
+
+    os << label << " [" << spark << "] min=" << formatNum(lo)
+       << " q1=" << formatNum(q1) << " med=" << formatNum(q2)
+       << " q3=" << formatNum(q3) << " max=" << formatNum(hi) << '\n';
+    return os.str();
+}
+
+} // namespace adaptsim

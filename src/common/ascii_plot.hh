@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lightweight ASCII visualisation for bench output: bar charts, line
+ * series, histograms/ECDFs and violin-style distribution summaries.
+ * These let the figure benches print shapes comparable to the paper's
+ * plots directly into a terminal or log file.
+ */
+
+#ifndef ADAPTSIM_COMMON_ASCII_PLOT_HH
+#define ADAPTSIM_COMMON_ASCII_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace adaptsim
+{
+
+/** One named value for a bar chart. */
+struct BarDatum
+{
+    std::string label;
+    double value;
+};
+
+/** Horizontal bar chart with labelled bars, auto-scaled to @p width. */
+std::string barChart(const std::string &title,
+                     const std::vector<BarDatum> &data,
+                     std::size_t width = 50);
+
+/**
+ * Grouped bar chart: for each label, several series values are drawn
+ * as adjacent bars annotated with the series name.
+ */
+std::string groupedBarChart(const std::string &title,
+                            const std::vector<std::string> &series_names,
+                            const std::vector<std::string> &labels,
+                            const std::vector<std::vector<double>> &values,
+                            std::size_t width = 50);
+
+/**
+ * Multi-series line plot over a shared x axis rendered as a character
+ * raster.  Each series uses its own glyph.
+ */
+std::string linePlot(const std::string &title,
+                     const std::vector<double> &xs,
+                     const std::vector<std::string> &series_names,
+                     const std::vector<std::vector<double>> &series,
+                     std::size_t width = 70, std::size_t height = 16);
+
+/**
+ * Distribution summary line in the style of one violin of Fig. 8:
+ * min, quartiles, median and a density sparkline.
+ */
+std::string violinLine(const std::string &label,
+                       std::vector<double> values,
+                       std::size_t width = 40);
+
+} // namespace adaptsim
+
+#endif // ADAPTSIM_COMMON_ASCII_PLOT_HH

@@ -1,0 +1,67 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+#include <thread>
+
+namespace adaptsim
+{
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw)
+        return fallback;
+    return v;
+}
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end == raw)
+        return fallback;
+    return v;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    return raw;
+}
+
+double
+experimentScale()
+{
+    const double s = envDouble("ADAPTSIM_SCALE", 1.0);
+    return s > 0.0 ? s : 1.0;
+}
+
+std::string
+dataDir()
+{
+    return envString("ADAPTSIM_DATA_DIR", "data");
+}
+
+unsigned
+numThreads()
+{
+    const long n = envLong("ADAPTSIM_THREADS", 0);
+    if (n > 0)
+        return static_cast<unsigned>(n);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace adaptsim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Environment-variable knobs shared by benches and examples.
+ */
+
+#ifndef ADAPTSIM_COMMON_ENV_HH
+#define ADAPTSIM_COMMON_ENV_HH
+
+#include <string>
+
+namespace adaptsim
+{
+
+/** Read a double env var, returning @p fallback when unset/invalid. */
+double envDouble(const char *name, double fallback);
+
+/** Read an integer env var, returning @p fallback when unset/invalid. */
+long envLong(const char *name, long fallback);
+
+/** Read a string env var, returning @p fallback when unset. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** ADAPTSIM_SCALE: global experiment scale multiplier (default 1.0). */
+double experimentScale();
+
+/** ADAPTSIM_DATA_DIR: shared on-disk simulation cache (default ./data). */
+std::string dataDir();
+
+/** ADAPTSIM_THREADS: evaluation threads (default hw concurrency). */
+unsigned numThreads();
+
+} // namespace adaptsim
+
+#endif // ADAPTSIM_COMMON_ENV_HH

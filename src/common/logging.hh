@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user supplied an impossible configuration; exits cleanly.
+ * warn()   - something is approximated but usable.
+ * inform() - plain status output.
+ */
+
+#ifndef ADAPTSIM_COMMON_LOGGING_HH
+#define ADAPTSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace adaptsim
+{
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &... rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &... args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort: an internal invariant was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &... args)
+{
+    std::fprintf(stderr, "panic: %s\n", detail::concat(args...).c_str());
+    std::abort();
+}
+
+/** Exit with an error: the user requested something impossible. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &... args)
+{
+    std::fprintf(stderr, "fatal: %s\n", detail::concat(args...).c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning. */
+template <typename... Args>
+void
+warn(const Args &... args)
+{
+    std::fprintf(stderr, "warn: %s\n", detail::concat(args...).c_str());
+}
+
+/** Plain status message. */
+template <typename... Args>
+void
+inform(const Args &... args)
+{
+    std::fprintf(stdout, "info: %s\n", detail::concat(args...).c_str());
+    std::fflush(stdout);
+}
+
+} // namespace adaptsim
+
+#endif // ADAPTSIM_COMMON_LOGGING_HH

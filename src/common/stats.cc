@@ -1,0 +1,120 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptsim
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nab;
+    mean_ += delta * nb / nab;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    const std::size_t mid = (values.size() - 1) / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    return values[mid];
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    p = std::clamp(p, 0.0, 100.0);
+    const double pos = p / 100.0 *
+                       static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+ecdfFromRight(const std::vector<double> &values, double x)
+{
+    if (values.empty())
+        return 0.0;
+    std::size_t at_least = 0;
+    for (double v : values) {
+        if (v >= x)
+            ++at_least;
+    }
+    return static_cast<double>(at_least) /
+           static_cast<double>(values.size());
+}
+
+} // namespace adaptsim

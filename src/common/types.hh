@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across adaptsim.
+ */
+
+#ifndef ADAPTSIM_COMMON_TYPES_HH
+#define ADAPTSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace adaptsim
+{
+
+/** A byte address in the simulated (synthetic) address space. */
+using Addr = std::uint64_t;
+
+/** A cycle count or timestamp in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A monotonically increasing dynamic-instruction sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Tick granularity used for time stamps inside counters. */
+using Tick = std::uint64_t;
+
+/** Invalid/unset sentinel for sequence numbers. */
+inline constexpr SeqNum invalidSeqNum = ~SeqNum(0);
+
+/** Invalid/unset sentinel for addresses. */
+inline constexpr Addr invalidAddr = ~Addr(0);
+
+} // namespace adaptsim
+
+#endif // ADAPTSIM_COMMON_TYPES_HH

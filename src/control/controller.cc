@@ -1,0 +1,159 @@
+#include "control/controller.hh"
+
+#include "power/metrics.hh"
+
+namespace adaptsim::control
+{
+
+double
+RunStats::efficiency() const
+{
+    return power::efficiencyOf(ips(), watts());
+}
+
+AdaptiveController::AdaptiveController(const workload::Workload &wl,
+                                       const ml::AdaptivityModel &model,
+                                       const ControllerOptions &options)
+    : wl_(wl), model_(model), opt_(options),
+      wrongPath_(wl.averageParams(), wl.seed() ^ 0x771ULL),
+      detector_(options.detectorThreshold)
+{
+}
+
+void
+AdaptiveController::runInterval(uarch::Core &core,
+                                std::span<const isa::MicroOp> trace,
+                                uarch::SimObserver *observer,
+                                RunStats &stats)
+{
+    const auto result = core.run(trace, observer);
+    const auto m = power::computeMetrics(core.config(),
+                                         result.events);
+    stats.seconds += m.seconds;
+    stats.joules += m.joules;
+    stats.instructions += result.events.committedOps;
+    ++stats.intervals;
+}
+
+RunStats
+AdaptiveController::run(std::uint64_t max_instructions)
+{
+    RunStats stats;
+    const std::uint64_t interval = opt_.intervalLength;
+    const std::uint64_t num_intervals = max_instructions / interval;
+
+    space::Configuration current = opt_.initialConfig;
+    auto current_cc = uarch::CoreConfig::fromConfiguration(current);
+    auto core =
+        std::make_unique<uarch::Core>(current_cc, wrongPath_);
+
+    const auto profiling = space::Configuration::profiling();
+    const auto profiling_cc =
+        uarch::CoreConfig::fromConfiguration(profiling);
+    uarch::Core profiling_core(profiling_cc, wrongPath_);
+
+    for (std::uint64_t i = 0; i < num_intervals; ++i) {
+        const auto trace = wl_.generate(i * interval, interval);
+
+        // Stage 1: phase detection on the interval's BBV.
+        const auto obs =
+            detector_.observe(phase::Bbv::ofTrace(trace));
+
+        space::Configuration target = current;
+        if (obs.newPhase) {
+            // Stage 2: profile the new phase on the profiling
+            // configuration, gathering the Table II counters.
+            counters::CounterBank bank(profiling_cc);
+            const auto prof =
+                profiling_core.run(trace, &bank);
+            bank.finalise(prof.events);
+            const auto m = power::computeMetrics(profiling_cc,
+                                                 prof.events);
+            stats.seconds += m.seconds;
+            stats.joules += m.joules;
+            stats.instructions += prof.events.committedOps;
+            ++stats.intervals;
+            ++stats.profilingIntervals;
+
+            // Stage 3: predict and remember.
+            const auto x = counters::assembleFeatures(
+                bank, opt_.featureSet);
+            target = model_.predict(x);
+            predictions_[obs.phaseId] = target;
+        } else {
+            const auto it = predictions_.find(obs.phaseId);
+            if (it != predictions_.end())
+                target = it->second;
+        }
+        if (obs.phaseChanged)
+            ++stats.phaseChanges;
+
+        if (obs.newPhase) {
+            // The profiled interval already executed; skip to the
+            // next interval on the (possibly new) configuration.
+        }
+
+        bool just_reconfigured = false;
+        if (target != current) {
+            const ReconfigCostModel cost_model(current_cc);
+            const Cycles penalty =
+                cost_model.transitionCycles(current, target);
+            stats.reconfigCycles += penalty;
+            stats.seconds += double(penalty) *
+                             current_cc.clockPeriodSec;
+            ++stats.reconfigurations;
+            just_reconfigured = true;
+
+            current = target;
+            current_cc =
+                uarch::CoreConfig::fromConfiguration(current);
+            // Reconfiguration flushes the caches: a fresh core
+            // models the post-flush cold state.
+            core = std::make_unique<uarch::Core>(current_cc,
+                                                 wrongPath_);
+        }
+
+        if (obs.newPhase)
+            continue;   // this interval ran on the profiling core
+
+        const double joules_before = stats.joules;
+        runInterval(*core, trace, nullptr, stats);
+        if (just_reconfigured) {
+            // ~3% energy overhead on the reconfiguring interval
+            // (powering transitions, flush traffic) — Sec. VIII.
+            stats.joules +=
+                (stats.joules - joules_before) *
+                ReconfigCostModel::intervalEnergyOverhead;
+        }
+    }
+    return stats;
+}
+
+RunStats
+runStatic(const workload::Workload &wl,
+          const space::Configuration &config,
+          std::uint64_t max_instructions,
+          std::uint64_t interval_length)
+{
+    RunStats stats;
+    workload::WrongPathGenerator wrong_path(wl.averageParams(),
+                                            wl.seed() ^ 0x57a71cULL);
+    const auto cc = uarch::CoreConfig::fromConfiguration(config);
+    uarch::Core core(cc, wrong_path);
+
+    const std::uint64_t num_intervals =
+        max_instructions / interval_length;
+    for (std::uint64_t i = 0; i < num_intervals; ++i) {
+        const auto trace =
+            wl.generate(i * interval_length, interval_length);
+        const auto result = core.run(trace);
+        const auto m = power::computeMetrics(cc, result.events);
+        stats.seconds += m.seconds;
+        stats.joules += m.joules;
+        stats.instructions += result.events.committedOps;
+        ++stats.intervals;
+    }
+    return stats;
+}
+
+} // namespace adaptsim::control

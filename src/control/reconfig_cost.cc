@@ -1,0 +1,154 @@
+#include "control/reconfig_cost.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptsim::control
+{
+
+namespace
+{
+
+/// Power-up rate: 200ns per 1.2M transistors (Sec. VIII).
+constexpr double powerUpNsPerTransistor = 200.0 / 1.2e6;
+
+/// 6T SRAM cell.
+constexpr double transistorsPerBit = 6.0;
+
+/// Fixed control/handshake cycles per reconfiguration.
+constexpr double controlCycles = 40.0;
+
+/// Fraction of cache lines dirty at flush time (writeback cost).
+constexpr double dirtyFraction = 0.22;
+
+double
+sramTransistors(double bytes)
+{
+    return bytes * 8.0 * transistorsPerBit;
+}
+
+} // namespace
+
+const char *
+reStructureName(ReStructure s)
+{
+    switch (s) {
+      case ReStructure::Width: return "Width";
+      case ReStructure::RegFile: return "RF";
+      case ReStructure::Bpred: return "Bpred";
+      case ReStructure::Rob: return "ROB";
+      case ReStructure::Iq: return "IQ";
+      case ReStructure::Lsq: return "LSQ";
+      case ReStructure::ICache: return "ICache";
+      case ReStructure::DCache: return "DCache";
+      case ReStructure::UCache: return "UCache";
+      default: return "invalid";
+    }
+}
+
+ReconfigCostModel::ReconfigCostModel(const uarch::CoreConfig &cfg)
+    : cfg_(cfg)
+{
+    const double period_ns = cfg.clockPeriodSec * 1e9;
+    auto power_cycles = [&](double transistors) {
+        return transistors * powerUpNsPerTransistor / period_ns;
+    };
+    auto to_cycles = [&](double c) {
+        return static_cast<Cycles>(std::llround(c + controlCycles));
+    };
+
+    // Only the toggled partition powers up; model half the structure.
+    constexpr double partition = 0.5;
+
+    const double drain =
+        double(cfg.numStages) +
+        double(cfg.robSize) / double(cfg.width);
+
+    auto at = [&](ReStructure s) -> Cycles & {
+        return cycles_[static_cast<std::size_t>(s)];
+    };
+
+    // Width: datapath slices (FUs, bypass, latches) ≈ 2M transistors
+    // per pipe slice; plus a full pipeline drain.
+    at(ReStructure::Width) = to_cycles(
+        power_cycles(partition * 2.0e6 * cfg.width / 4.0) + drain);
+
+    // Register files: both int and fp, ~70 bits per entry, port-
+    // heavy cells (x3 area), plus a drain to quiesce renaming.
+    at(ReStructure::RegFile) = to_cycles(
+        power_cycles(partition * 2.0 * cfg.rfSize * 70.0 *
+                     transistorsPerBit * 3.0) + drain);
+
+    // Branch predictor: PHT (2 bits/entry) + BTB (~64 bits/entry).
+    at(ReStructure::Bpred) = to_cycles(
+        power_cycles(partition *
+                     (cfg.gshareEntries * 2.0 +
+                      cfg.btbEntries * 64.0) * transistorsPerBit));
+
+    // Window structures: payload bits plus drain of in-flight ops.
+    at(ReStructure::Rob) = to_cycles(
+        power_cycles(partition * cfg.robSize * 128.0 *
+                     transistorsPerBit) + drain);
+    at(ReStructure::Iq) = to_cycles(
+        power_cycles(partition * cfg.iqSize * 96.0 *
+                     transistorsPerBit * 2.0) + drain);
+    at(ReStructure::Lsq) = to_cycles(
+        power_cycles(partition * cfg.lsqSize * 128.0 *
+                     transistorsPerBit * 2.0) + drain);
+
+    // Caches: power-up plus flush.  The I-cache is clean (invalidate
+    // only); D and L2 write back their dirty lines at one per cycle.
+    const double ic_lines =
+        double(cfg.icacheBytes) / uarch::CoreConfig::cacheLineBytes;
+    const double dc_lines =
+        double(cfg.dcacheBytes) / uarch::CoreConfig::cacheLineBytes;
+    const double l2_lines =
+        double(cfg.l2Bytes) / uarch::CoreConfig::cacheLineBytes;
+    at(ReStructure::ICache) = to_cycles(
+        power_cycles(partition * sramTransistors(
+            double(cfg.icacheBytes))) + ic_lines / 64.0);
+    at(ReStructure::DCache) = to_cycles(
+        power_cycles(partition * sramTransistors(
+            double(cfg.dcacheBytes))) + dc_lines * dirtyFraction);
+    at(ReStructure::UCache) = to_cycles(
+        power_cycles(partition * sramTransistors(
+            double(cfg.l2Bytes))) + l2_lines * dirtyFraction);
+}
+
+Cycles
+ReconfigCostModel::cyclesFor(ReStructure s) const
+{
+    return cycles_[static_cast<std::size_t>(s)];
+}
+
+Cycles
+ReconfigCostModel::transitionCycles(
+    const space::Configuration &from,
+    const space::Configuration &to) const
+{
+    using space::Param;
+    Cycles worst = 0;
+    auto consider = [&](Param p, ReStructure s) {
+        if (from.index(p) != to.index(p))
+            worst = std::max(worst, cyclesFor(s));
+    };
+    consider(Param::Width, ReStructure::Width);
+    consider(Param::Depth, ReStructure::Width);
+    consider(Param::RfSize, ReStructure::RegFile);
+    consider(Param::RfRdPorts, ReStructure::RegFile);
+    consider(Param::RfWrPorts, ReStructure::RegFile);
+    consider(Param::GshareSize, ReStructure::Bpred);
+    consider(Param::BtbSize, ReStructure::Bpred);
+    consider(Param::MaxBranches, ReStructure::Bpred);
+    consider(Param::RobSize, ReStructure::Rob);
+    consider(Param::IqSize, ReStructure::Iq);
+    consider(Param::LsqSize, ReStructure::Lsq);
+    consider(Param::ICacheSize, ReStructure::ICache);
+    consider(Param::DCacheSize, ReStructure::DCache);
+    consider(Param::L2CacheSize, ReStructure::UCache);
+
+    return static_cast<Cycles>(
+        std::llround(double(worst) * visibleFraction));
+}
+
+} // namespace adaptsim::control

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Resource-reconfiguration cost model (Sec. VIII, Table V).
+ *
+ * Adaptation uses bitline segmentation so partitions can be powered
+ * up/down in isolation; powering 1.2M transistors takes 200ns
+ * (Royannez et al., ISSCC'05).  Each structure's overhead combines
+ * its power-up time (6T SRAM cells), any drain/flush work (pipeline
+ * drain, dirty-line writeback) and a fixed control constant.  Most of
+ * the time is hidden behind continued execution; only a fraction is
+ * charged to the running interval (~3% per reconfiguring interval).
+ */
+
+#ifndef ADAPTSIM_CONTROL_RECONFIG_COST_HH
+#define ADAPTSIM_CONTROL_RECONFIG_COST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "space/configuration.hh"
+#include "uarch/core_config.hh"
+
+namespace adaptsim::control
+{
+
+/** Reconfigurable structures of Table V. */
+enum class ReStructure : std::uint8_t
+{
+    Width,
+    RegFile,
+    Bpred,
+    Rob,
+    Iq,
+    Lsq,
+    ICache,
+    DCache,
+    UCache,
+    NumStructures
+};
+
+inline constexpr std::size_t numReStructures =
+    static_cast<std::size_t>(ReStructure::NumStructures);
+
+/** Display name of a reconfigurable structure. */
+const char *reStructureName(ReStructure s);
+
+/** Table V style per-structure reconfiguration cost model. */
+class ReconfigCostModel
+{
+  public:
+    /**
+     * @param cfg configuration whose clock and structure sizes set
+     *        cycle counts (Table V uses the baseline).
+     */
+    explicit ReconfigCostModel(const uarch::CoreConfig &cfg);
+
+    /** Full-structure reconfiguration overhead in cycles (Table V). */
+    Cycles cyclesFor(ReStructure s) const;
+
+    /**
+     * Cycles charged when switching @p from → @p to: the maximum over
+     * the structures that actually change (they reconfigure in
+     * parallel), scaled by the visible (non-hidden) fraction.
+     */
+    Cycles transitionCycles(const space::Configuration &from,
+                            const space::Configuration &to) const;
+
+    /** Fraction of reconfiguration time not hidden by execution. */
+    static constexpr double visibleFraction = 0.2;
+
+    /** Energy overhead of an interval containing a reconfiguration. */
+    static constexpr double intervalEnergyOverhead = 0.03;
+
+  private:
+    uarch::CoreConfig cfg_;
+    std::array<Cycles, numReStructures> cycles_;
+};
+
+} // namespace adaptsim::control
+
+#endif // ADAPTSIM_CONTROL_RECONFIG_COST_HH

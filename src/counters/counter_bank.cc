@@ -1,0 +1,160 @@
+#include "counters/counter_bank.hh"
+
+#include <algorithm>
+
+namespace adaptsim::counters
+{
+
+namespace
+{
+
+/** Bins used for all occupancy temporal histograms. */
+constexpr std::size_t occBins = 16;
+
+std::uint64_t
+setsOf(std::uint64_t bytes, int assoc, int line)
+{
+    return bytes / (std::uint64_t(assoc) * line);
+}
+
+} // namespace
+
+CounterBank::CounterBank(const uarch::CoreConfig &cfg,
+                         const SamplingSpec &sampling)
+    : cfg_(cfg),
+      alu_(cfg.numAlu, static_cast<std::size_t>(cfg.numAlu) + 1),
+      memPort_(cfg.numMemPorts,
+               static_cast<std::size_t>(cfg.numMemPorts) + 1),
+      rob_(cfg.robSize, occBins),
+      iq_(cfg.iqSize, occBins),
+      lsq_(cfg.lsqSize, occBins),
+      intRf_(cfg.rfSize, occBins),
+      fpRf_(cfg.rfSize, occBins),
+      rdPorts_(cfg.rfRdPorts,
+               static_cast<std::size_t>(cfg.rfRdPorts) + 1),
+      wrPorts_(cfg.rfWrPorts,
+               static_cast<std::size_t>(cfg.rfWrPorts) + 1),
+      icStack_(uarch::CoreConfig::cacheLineBytes),
+      dcStack_(uarch::CoreConfig::cacheLineBytes),
+      l2Stack_(uarch::CoreConfig::cacheLineBytes),
+      icSet_(setsOf(cfg.icacheBytes, uarch::CoreConfig::l1Assoc,
+                    uarch::CoreConfig::cacheLineBytes),
+             uarch::CoreConfig::cacheLineBytes),
+      dcSet_(setsOf(cfg.dcacheBytes, uarch::CoreConfig::l1Assoc,
+                    uarch::CoreConfig::cacheLineBytes),
+             uarch::CoreConfig::cacheLineBytes),
+      l2Set_(setsOf(cfg.l2Bytes, uarch::CoreConfig::l2Assoc,
+                    uarch::CoreConfig::cacheLineBytes),
+             uarch::CoreConfig::cacheLineBytes),
+      // Reduced geometry: the smallest configurable cache of each
+      // level (8KB L1s, 256KB L2 — Table I lower bounds).
+      icRedSet_(setsOf(8 * 1024, uarch::CoreConfig::l1Assoc,
+                       uarch::CoreConfig::cacheLineBytes),
+                uarch::CoreConfig::cacheLineBytes),
+      dcRedSet_(setsOf(8 * 1024, uarch::CoreConfig::l1Assoc,
+                       uarch::CoreConfig::cacheLineBytes),
+                uarch::CoreConfig::cacheLineBytes),
+      l2RedSet_(setsOf(256 * 1024, uarch::CoreConfig::l2Assoc,
+                       uarch::CoreConfig::cacheLineBytes),
+                uarch::CoreConfig::cacheLineBytes),
+      icSetSampler_(icSet_.numSets(), sampling.icSetReuse),
+      dcSetSampler_(dcSet_.numSets(), sampling.dcSetReuse),
+      l2SetSampler_(l2Set_.numSets(), sampling.l2SetReuse),
+      icBlockSampler_(icSet_.numSets(), sampling.icBlockReuse),
+      dcBlockSampler_(dcSet_.numSets(), sampling.dcBlockReuse),
+      l2BlockSampler_(l2Set_.numSets(), sampling.l2BlockReuse)
+{
+}
+
+void
+CounterBank::onCycle(const uarch::CycleSample &s, std::uint64_t repeat)
+{
+    alu_.record(s.aluUsed, repeat);
+    memPort_.record(s.memPortsUsed, repeat);
+    rob_.record(s.robOcc, repeat);
+    iq_.record(s.iqOcc, repeat);
+    lsq_.record(s.lsqOcc, repeat);
+    intRf_.record(s.intRegsUsed, repeat);
+    fpRf_.record(s.fpRegsUsed, repeat);
+    rdPorts_.record(s.rdPortsUsed, repeat);
+    wrPorts_.record(s.wrPortsUsed, repeat);
+
+    cycles_ += repeat;
+    iqSpecSum_ += std::uint64_t(s.iqSpecOps) * repeat;
+    lsqSpecSum_ += std::uint64_t(s.lsqSpecOps) * repeat;
+    iqOccSum_ += std::uint64_t(s.iqOcc) * repeat;
+    lsqOccSum_ += std::uint64_t(s.lsqOcc) * repeat;
+}
+
+void
+CounterBank::onDCacheAccess(Addr addr, bool)
+{
+    constexpr int line = uarch::CoreConfig::cacheLineBytes;
+    ++dcPos_;
+    dcStack_.access(addr);
+    if (dcBlockSampler_.sampledAddr(addr, line))
+        dcBlock_.accessAt(addr / line, dcPos_);
+    if (dcSetSampler_.sampledAddr(addr, line))
+        dcSet_.accessAt(addr, dcPos_);
+    dcRedSet_.accessAt(addr, dcPos_);
+}
+
+void
+CounterBank::onICacheAccess(Addr addr)
+{
+    constexpr int line = uarch::CoreConfig::cacheLineBytes;
+    ++icPos_;
+    icStack_.access(addr);
+    if (icBlockSampler_.sampledAddr(addr, line))
+        icBlock_.accessAt(addr / line, icPos_);
+    if (icSetSampler_.sampledAddr(addr, line))
+        icSet_.accessAt(addr, icPos_);
+    icRedSet_.accessAt(addr, icPos_);
+}
+
+void
+CounterBank::onL2Access(Addr addr)
+{
+    constexpr int line = uarch::CoreConfig::cacheLineBytes;
+    ++l2Pos_;
+    l2Stack_.access(addr);
+    if (l2BlockSampler_.sampledAddr(addr, line))
+        l2Block_.accessAt(addr / line, l2Pos_);
+    if (l2SetSampler_.sampledAddr(addr, line))
+        l2Set_.accessAt(addr, l2Pos_);
+    l2RedSet_.accessAt(addr, l2Pos_);
+}
+
+void
+CounterBank::onBranchFetch(Addr pc, bool)
+{
+    btbReuse_.access(pc);
+}
+
+void
+CounterBank::finalise(const uarch::EventCounts &ev)
+{
+    events_ = ev;
+    cpi_ = ev.committedOps ?
+        double(ev.cycles) / double(ev.committedOps) : 0.0;
+    mispredRate_ = ev.condBranches ?
+        double(ev.mispredicts) / double(ev.condBranches) : 0.0;
+    btbHitRate_ = ev.btbLookups ?
+        double(ev.btbHits) / double(ev.btbLookups) : 0.0;
+    // Ratios are clamped defensively: they are features of a model
+    // and must stay O(1) even if an accounting edge case slips in.
+    iqSpecFrac_ = iqOccSum_ ?
+        std::min(1.0, double(iqSpecSum_) / double(iqOccSum_)) : 0.0;
+    lsqSpecFrac_ = lsqOccSum_ ?
+        std::min(1.0, double(lsqSpecSum_) / double(lsqOccSum_)) :
+        0.0;
+    iqMisSpecFrac_ = ev.iqWrites ?
+        std::min(1.0, double(ev.iqSquashed) / double(ev.iqWrites)) :
+        0.0;
+    lsqMisSpecFrac_ = ev.lsqInserts ?
+        std::min(1.0,
+                 double(ev.lsqSquashed) / double(ev.lsqInserts)) :
+        0.0;
+}
+
+} // namespace adaptsim::counters

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The full hardware-counter bank of Table II, gathered while running a
+ * phase on the profiling configuration.
+ *
+ * Attach a CounterBank as the SimObserver of a profiling run, then
+ * call finalise() with the run's EventCounts; the feature-vector
+ * assembly (feature_vector.hh) turns the bank into model inputs.
+ */
+
+#ifndef ADAPTSIM_COUNTERS_COUNTER_BANK_HH
+#define ADAPTSIM_COUNTERS_COUNTER_BANK_HH
+
+#include "counters/reuse_distance.hh"
+#include "counters/set_sampling.hh"
+#include "counters/stack_distance.hh"
+#include "counters/temporal_histogram.hh"
+#include "uarch/core_config.hh"
+#include "uarch/events.hh"
+
+namespace adaptsim::counters
+{
+
+/** Per-cache per-feature sampled set counts (0 = monitor all sets). */
+struct SamplingSpec
+{
+    std::uint64_t icSetReuse = 0;
+    std::uint64_t dcSetReuse = 0;
+    std::uint64_t l2SetReuse = 0;
+    std::uint64_t icBlockReuse = 0;
+    std::uint64_t dcBlockReuse = 0;
+    std::uint64_t l2BlockReuse = 0;
+};
+
+/** All Table II counters for one profiled phase. */
+class CounterBank : public uarch::SimObserver
+{
+  public:
+    /**
+     * @param profiling_cfg the profiling configuration (largest
+     *        structures) whose geometry sets histogram ranges.
+     * @param sampling optional dynamic set sampling of the cache
+     *        monitors (Sec. VIII).
+     */
+    explicit CounterBank(const uarch::CoreConfig &profiling_cfg,
+                         const SamplingSpec &sampling = {});
+
+    // SimObserver interface -------------------------------------------
+    void onCycle(const uarch::CycleSample &s,
+                 std::uint64_t repeat) override;
+    void onDCacheAccess(Addr addr, bool write) override;
+    void onICacheAccess(Addr addr) override;
+    void onL2Access(Addr addr) override;
+    void onBranchFetch(Addr pc, bool btb_hit) override;
+
+    /** Derive the scalar counters once the run has finished. */
+    void finalise(const uarch::EventCounts &ev);
+
+    // Width counters.
+    const TemporalHistogram &aluUsage() const { return alu_; }
+    const TemporalHistogram &memPortUsage() const { return memPort_; }
+
+    // Queue counters.
+    const TemporalHistogram &robUsage() const { return rob_; }
+    const TemporalHistogram &iqUsage() const { return iq_; }
+    const TemporalHistogram &lsqUsage() const { return lsq_; }
+    double iqSpecFrac() const { return iqSpecFrac_; }
+    double lsqSpecFrac() const { return lsqSpecFrac_; }
+    double iqMisSpecFrac() const { return iqMisSpecFrac_; }
+    double lsqMisSpecFrac() const { return lsqMisSpecFrac_; }
+
+    // Register file counters.
+    const TemporalHistogram &intRegUsage() const { return intRf_; }
+    const TemporalHistogram &fpRegUsage() const { return fpRf_; }
+    const TemporalHistogram &rdPortUsage() const { return rdPorts_; }
+    const TemporalHistogram &wrPortUsage() const { return wrPorts_; }
+
+    // Cache counters.
+    const StackDistanceMonitor &icStack() const { return icStack_; }
+    const StackDistanceMonitor &dcStack() const { return dcStack_; }
+    const StackDistanceMonitor &l2Stack() const { return l2Stack_; }
+    const ReuseDistanceMonitor &icBlockReuse() const
+    {
+        return icBlock_;
+    }
+    const ReuseDistanceMonitor &dcBlockReuse() const
+    {
+        return dcBlock_;
+    }
+    const ReuseDistanceMonitor &l2BlockReuse() const
+    {
+        return l2Block_;
+    }
+    const SetReuseMonitor &icSetReuse() const { return icSet_; }
+    const SetReuseMonitor &dcSetReuse() const { return dcSet_; }
+    const SetReuseMonitor &l2SetReuse() const { return l2Set_; }
+    const SetReuseMonitor &icReducedSetReuse() const
+    {
+        return icRedSet_;
+    }
+    const SetReuseMonitor &dcReducedSetReuse() const
+    {
+        return dcRedSet_;
+    }
+    const SetReuseMonitor &l2ReducedSetReuse() const
+    {
+        return l2RedSet_;
+    }
+
+    // Branch predictor counters.
+    const ReuseDistanceMonitor &btbReuse() const { return btbReuse_; }
+    double branchMispredRate() const { return mispredRate_; }
+    double btbHitRate() const { return btbHitRate_; }
+
+    // Pipeline depth counter.
+    double cpi() const { return cpi_; }
+    double ipc() const { return cpi_ > 0.0 ? 1.0 / cpi_ : 0.0; }
+
+    /** Event counts of the profiling run (set by finalise). */
+    const uarch::EventCounts &events() const { return events_; }
+
+    const uarch::CoreConfig &profilingConfig() const { return cfg_; }
+
+  private:
+    uarch::CoreConfig cfg_;
+
+    TemporalHistogram alu_;
+    TemporalHistogram memPort_;
+    TemporalHistogram rob_;
+    TemporalHistogram iq_;
+    TemporalHistogram lsq_;
+    TemporalHistogram intRf_;
+    TemporalHistogram fpRf_;
+    TemporalHistogram rdPorts_;
+    TemporalHistogram wrPorts_;
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t iqSpecSum_ = 0;
+    std::uint64_t lsqSpecSum_ = 0;
+    std::uint64_t iqOccSum_ = 0;
+    std::uint64_t lsqOccSum_ = 0;
+
+    StackDistanceMonitor icStack_;
+    StackDistanceMonitor dcStack_;
+    StackDistanceMonitor l2Stack_;
+    ReuseDistanceMonitor icBlock_;
+    ReuseDistanceMonitor dcBlock_;
+    ReuseDistanceMonitor l2Block_;
+    SetReuseMonitor icSet_;
+    SetReuseMonitor dcSet_;
+    SetReuseMonitor l2Set_;
+    SetReuseMonitor icRedSet_;
+    SetReuseMonitor dcRedSet_;
+    SetReuseMonitor l2RedSet_;
+    SetSampler icSetSampler_;
+    SetSampler dcSetSampler_;
+    SetSampler l2SetSampler_;
+    SetSampler icBlockSampler_;
+    SetSampler dcBlockSampler_;
+    SetSampler l2BlockSampler_;
+
+    ReuseDistanceMonitor btbReuse_;
+
+    // Global access positions per monitored stream, so sampled
+    // monitors measure distances in real accesses.
+    std::uint64_t icPos_ = 0;
+    std::uint64_t dcPos_ = 0;
+    std::uint64_t l2Pos_ = 0;
+
+    double iqSpecFrac_ = 0.0;
+    double lsqSpecFrac_ = 0.0;
+    double iqMisSpecFrac_ = 0.0;
+    double lsqMisSpecFrac_ = 0.0;
+    double mispredRate_ = 0.0;
+    double btbHitRate_ = 0.0;
+    double cpi_ = 0.0;
+    uarch::EventCounts events_;
+};
+
+} // namespace adaptsim::counters
+
+#endif // ADAPTSIM_COUNTERS_COUNTER_BANK_HH

@@ -1,0 +1,217 @@
+#include "counters/feature_vector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adaptsim::counters
+{
+
+namespace
+{
+
+/** Append a normalised histogram, marking its group. */
+void
+appendHistogram(std::vector<double> &out,
+                std::vector<FeatureGroup> &groups,
+                const std::string &name,
+                const std::vector<double> &fractions)
+{
+    const std::size_t begin = out.size();
+    out.insert(out.end(), fractions.begin(), fractions.end());
+    groups.push_back({name, begin, out.size()});
+}
+
+void
+appendScalars(std::vector<double> &out,
+              std::vector<FeatureGroup> &groups,
+              const std::string &name,
+              std::initializer_list<double> values)
+{
+    const std::size_t begin = out.size();
+    out.insert(out.end(), values.begin(), values.end());
+    groups.push_back({name, begin, out.size()});
+}
+
+/** Build the advanced (Table II) features. */
+std::vector<double>
+buildAdvanced(const CounterBank &b, std::vector<FeatureGroup> &groups)
+{
+    std::vector<double> x;
+    groups.clear();
+
+    // Width.
+    appendHistogram(x, groups, "alu_usage",
+                    b.aluUsage().normalised());
+    appendHistogram(x, groups, "memport_usage",
+                    b.memPortUsage().normalised());
+
+    // Queues.
+    appendHistogram(x, groups, "rob_usage",
+                    b.robUsage().normalised());
+    appendHistogram(x, groups, "iq_usage", b.iqUsage().normalised());
+    appendHistogram(x, groups, "lsq_usage",
+                    b.lsqUsage().normalised());
+    appendScalars(x, groups, "speculation",
+                  {b.iqSpecFrac(), b.iqMisSpecFrac(),
+                   b.lsqSpecFrac(), b.lsqMisSpecFrac()});
+
+    // Register file.
+    appendHistogram(x, groups, "int_reg_usage",
+                    b.intRegUsage().normalised());
+    appendHistogram(x, groups, "fp_reg_usage",
+                    b.fpRegUsage().normalised());
+    appendHistogram(x, groups, "rd_port_usage",
+                    b.rdPortUsage().normalised());
+    appendHistogram(x, groups, "wr_port_usage",
+                    b.wrPortUsage().normalised());
+
+    // Caches.
+    appendHistogram(x, groups, "ic_stack",
+                    b.icStack().histogram().normalised());
+    appendHistogram(x, groups, "dc_stack",
+                    b.dcStack().histogram().normalised());
+    appendHistogram(x, groups, "l2_stack",
+                    b.l2Stack().histogram().normalised());
+    appendHistogram(x, groups, "ic_block_reuse",
+                    b.icBlockReuse().histogram().normalised());
+    appendHistogram(x, groups, "dc_block_reuse",
+                    b.dcBlockReuse().histogram().normalised());
+    appendHistogram(x, groups, "l2_block_reuse",
+                    b.l2BlockReuse().histogram().normalised());
+    appendHistogram(x, groups, "ic_set_reuse",
+                    b.icSetReuse().histogram().normalised());
+    appendHistogram(x, groups, "dc_set_reuse",
+                    b.dcSetReuse().histogram().normalised());
+    appendHistogram(x, groups, "l2_set_reuse",
+                    b.l2SetReuse().histogram().normalised());
+    appendHistogram(x, groups, "ic_red_set_reuse",
+                    b.icReducedSetReuse().histogram().normalised());
+    appendHistogram(x, groups, "dc_red_set_reuse",
+                    b.dcReducedSetReuse().histogram().normalised());
+    appendHistogram(x, groups, "l2_red_set_reuse",
+                    b.l2ReducedSetReuse().histogram().normalised());
+
+    // Branch predictor.
+    appendHistogram(x, groups, "btb_reuse",
+                    b.btbReuse().histogram().normalised());
+    appendScalars(x, groups, "mispred_rate",
+                  {b.branchMispredRate()});
+
+    // Pipeline depth.
+    appendScalars(x, groups, "cpi", {std::min(b.cpi(), 32.0) / 32.0});
+
+    // Bias.
+    appendScalars(x, groups, "bias", {1.0});
+    return x;
+}
+
+/** Build the basic (conventional performance counter) features. */
+std::vector<double>
+buildBasic(const CounterBank &b, std::vector<FeatureGroup> &groups)
+{
+    std::vector<double> x;
+    groups.clear();
+    const auto &ev = b.events();
+    const auto &cfg = b.profilingConfig();
+    const double insts =
+        std::max<double>(1.0, double(ev.committedOps));
+
+    appendScalars(x, groups, "avg_occupancy",
+                  {b.robUsage().meanUsage() / cfg.robSize,
+                   b.iqUsage().meanUsage() / cfg.iqSize,
+                   b.lsqUsage().meanUsage() / cfg.lsqSize});
+    appendScalars(x, groups, "ops_per_inst",
+                  {double(ev.aluOps) / insts,
+                   double(ev.memPortOps) / insts,
+                   double(ev.fpOps + ev.fpMulOps + ev.fpDivOps) /
+                       insts});
+    appendScalars(x, groups, "avg_rf_usage",
+                  {b.intRegUsage().meanUsage() / cfg.rfSize,
+                   b.fpRegUsage().meanUsage() / cfg.rfSize});
+    appendScalars(x, groups, "cache_rates",
+                  {double(ev.icAccesses) / insts,
+                   ev.icAccesses ?
+                       double(ev.icMisses) / double(ev.icAccesses) :
+                       0.0,
+                   double(ev.dcAccesses) / insts,
+                   ev.dcAccesses ?
+                       double(ev.dcMisses) / double(ev.dcAccesses) :
+                       0.0,
+                   double(ev.l2Accesses) / insts,
+                   ev.l2Accesses ?
+                       double(ev.l2Misses) / double(ev.l2Accesses) :
+                       0.0});
+    appendScalars(x, groups, "bpred_rates",
+                  {double(ev.bpredLookups) / insts,
+                   b.branchMispredRate(), b.btbHitRate()});
+    appendScalars(x, groups, "ipc", {b.ipc() / 8.0});
+    appendScalars(x, groups, "bias", {1.0});
+    return x;
+}
+
+/** Cached layouts, built once from a reference bank geometry. */
+struct Layouts
+{
+    std::vector<FeatureGroup> advanced;
+    std::vector<FeatureGroup> basic;
+    std::size_t advancedDim = 0;
+    std::size_t basicDim = 0;
+
+    Layouts()
+    {
+        const uarch::CoreConfig cfg =
+            uarch::CoreConfig::fromConfiguration(
+                space::Configuration::profiling());
+        const CounterBank bank(cfg);
+        std::vector<FeatureGroup> g;
+        advancedDim = buildAdvanced(bank, g).size();
+        advanced = g;
+        basicDim = buildBasic(bank, g).size();
+        basic = g;
+    }
+};
+
+const Layouts &
+layouts()
+{
+    static const Layouts instance;
+    return instance;
+}
+
+} // namespace
+
+std::vector<double>
+assembleFeatures(const CounterBank &bank, FeatureSet set)
+{
+    std::vector<FeatureGroup> groups;
+    std::vector<double> x = set == FeatureSet::Advanced ?
+        buildAdvanced(bank, groups) : buildBasic(bank, groups);
+    const std::size_t expect = featureDimension(set);
+    if (x.size() != expect)
+        panic("feature dimension mismatch: ", x.size(), " vs ",
+              expect);
+    return x;
+}
+
+std::size_t
+featureDimension(FeatureSet set)
+{
+    return set == FeatureSet::Advanced ? layouts().advancedDim :
+                                         layouts().basicDim;
+}
+
+const std::vector<FeatureGroup> &
+featureGroups(FeatureSet set)
+{
+    return set == FeatureSet::Advanced ? layouts().advanced :
+                                         layouts().basic;
+}
+
+const char *
+featureSetName(FeatureSet set)
+{
+    return set == FeatureSet::Advanced ? "advanced" : "basic";
+}
+
+} // namespace adaptsim::counters

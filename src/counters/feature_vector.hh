@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Assembly of model input features from a CounterBank.
+ *
+ * Two feature sets mirror Sec. VI-B:
+ *  - basic: the standard performance counters of current processors
+ *    (average occupancies, access and miss rates, IPC);
+ *  - advanced: the full Table II set with temporal histograms and
+ *    reuse/stack-distance histograms.
+ *
+ * All features are normalised to O(1) magnitudes so the soft-max
+ * weights are well conditioned; a trailing bias term is appended.
+ */
+
+#ifndef ADAPTSIM_COUNTERS_FEATURE_VECTOR_HH
+#define ADAPTSIM_COUNTERS_FEATURE_VECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "counters/counter_bank.hh"
+
+namespace adaptsim::counters
+{
+
+/** A named contiguous slice of the feature vector (for ablation). */
+struct FeatureGroup
+{
+    std::string name;
+    std::size_t begin;
+    std::size_t end;   ///< one past the last index
+};
+
+/** Which counter set to assemble. */
+enum class FeatureSet
+{
+    Basic,
+    Advanced
+};
+
+/** Assemble the feature vector of the requested set. */
+std::vector<double> assembleFeatures(const CounterBank &bank,
+                                     FeatureSet set);
+
+/** Dimension of the requested feature set. */
+std::size_t featureDimension(FeatureSet set);
+
+/** Group layout of the requested feature set. */
+const std::vector<FeatureGroup> &featureGroups(FeatureSet set);
+
+/** Human-readable set name ("basic"/"advanced"). */
+const char *featureSetName(FeatureSet set);
+
+} // namespace adaptsim::counters
+
+#endif // ADAPTSIM_COUNTERS_FEATURE_VECTOR_HH

@@ -1,0 +1,69 @@
+#include "counters/overhead_model.hh"
+
+#include "power/cacti.hh"
+
+namespace adaptsim::counters
+{
+
+namespace
+{
+
+std::uint64_t
+setsOf(std::uint64_t bytes, int assoc, int line)
+{
+    return bytes / (std::uint64_t(assoc) * line);
+}
+
+MonitorOverhead
+overheadFor(std::uint64_t cache_bytes, int assoc, int line_bytes,
+            std::uint64_t sampled_sets, int bytes_per_entry,
+            std::uint64_t entries_per_set)
+{
+    namespace pw = adaptsim::power;
+    const std::uint64_t total_sets =
+        setsOf(cache_bytes, assoc, line_bytes);
+    if (sampled_sets == 0 || sampled_sets > total_sets)
+        sampled_sets = total_sets;
+    const double sample_frac =
+        double(sampled_sets) / double(total_sets);
+
+    // Monitor storage: a small SRAM sized for the sampled sets.
+    const std::uint64_t monitor_bytes =
+        sampled_sets * entries_per_set * bytes_per_entry;
+
+    // Every access to a sampled set performs one monitor update
+    // (read-modify-write of a few bytes).
+    const double update_nj =
+        pw::arrayAccessEnergyNj(
+            static_cast<int>(sampled_sets * entries_per_set),
+            bytes_per_entry) * 2.0;   // read + write
+    const double cache_nj =
+        pw::sramAccessEnergyNj(cache_bytes, assoc);
+
+    MonitorOverhead out;
+    out.dynamicPct = 100.0 * sample_frac * update_nj / cache_nj;
+    out.leakagePct = 100.0 * pw::sramLeakageW(monitor_bytes) /
+                     pw::sramLeakageW(cache_bytes);
+    return out;
+}
+
+} // namespace
+
+MonitorOverhead
+blockReuseOverhead(std::uint64_t cache_bytes, int assoc,
+                   int line_bytes, std::uint64_t sampled_sets)
+{
+    return overheadFor(cache_bytes, assoc, line_bytes, sampled_sets,
+                       blockMonitorBytes,
+                       static_cast<std::uint64_t>(assoc));
+}
+
+MonitorOverhead
+setReuseOverhead(std::uint64_t cache_bytes, int assoc, int line_bytes,
+                 std::uint64_t sampled_sets)
+{
+    return overheadFor(cache_bytes, assoc, line_bytes, sampled_sets,
+                       setMonitorBytes, 1);
+}
+
+} // namespace adaptsim::counters

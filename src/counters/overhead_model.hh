@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Energy-overhead model for gathering the cache reuse-distance
+ * counters (Sec. VIII, Fig. 9).
+ *
+ * Block-reuse monitoring stores two timestamps plus a hit counter per
+ * monitored block; set-reuse monitoring stores one counter per
+ * monitored set.  Dynamic overhead is the monitor-update energy on
+ * every access to a sampled set relative to the cache's own access
+ * energy; static (leakage) overhead is the monitor storage's leakage
+ * relative to the cache's.
+ */
+
+#ifndef ADAPTSIM_COUNTERS_OVERHEAD_MODEL_HH
+#define ADAPTSIM_COUNTERS_OVERHEAD_MODEL_HH
+
+#include <cstdint>
+
+namespace adaptsim::counters
+{
+
+/** Relative monitoring overheads in percent. */
+struct MonitorOverhead
+{
+    double dynamicPct = 0.0;   ///< vs cache dynamic energy
+    double leakagePct = 0.0;   ///< vs cache leakage power
+};
+
+/** Storage cost of block-reuse monitoring per block, bytes
+ *  (two 16-bit timestamps + one 8-bit hit counter). */
+inline constexpr int blockMonitorBytes = 5;
+
+/** Storage cost of set-reuse monitoring per set, bytes. */
+inline constexpr int setMonitorBytes = 4;
+
+/**
+ * Overhead of gathering the *block* reuse-distance histogram of a
+ * cache with @p cache_bytes capacity and @p assoc ways when
+ * @p sampled_sets of its sets are monitored (0 = all).
+ */
+MonitorOverhead blockReuseOverhead(std::uint64_t cache_bytes,
+                                   int assoc, int line_bytes,
+                                   std::uint64_t sampled_sets);
+
+/** Overhead of gathering the *set* reuse-distance histogram. */
+MonitorOverhead setReuseOverhead(std::uint64_t cache_bytes, int assoc,
+                                 int line_bytes,
+                                 std::uint64_t sampled_sets);
+
+} // namespace adaptsim::counters
+
+#endif // ADAPTSIM_COUNTERS_OVERHEAD_MODEL_HH

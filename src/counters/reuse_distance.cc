@@ -1,0 +1,71 @@
+#include "counters/reuse_distance.hh"
+
+#include "common/logging.hh"
+
+namespace adaptsim::counters
+{
+
+ReuseDistanceMonitor::ReuseDistanceMonitor()
+    : hist_(Histogram::Binning::Log2, reuseBins)
+{
+}
+
+void
+ReuseDistanceMonitor::access(std::uint64_t key)
+{
+    accessAt(key, accessCount_ + 1);
+}
+
+void
+ReuseDistanceMonitor::accessAt(std::uint64_t key,
+                               std::uint64_t position)
+{
+    ++accessCount_;
+    auto [it, inserted] = lastAccess_.try_emplace(key, position);
+    if (!inserted) {
+        hist_.add(position - it->second);
+        it->second = position;
+        ++reuses_;
+    }
+}
+
+double
+ReuseDistanceMonitor::reuseFraction() const
+{
+    if (accessCount_ == 0)
+        return 0.0;
+    return static_cast<double>(reuses_) /
+           static_cast<double>(accessCount_);
+}
+
+void
+ReuseDistanceMonitor::clear()
+{
+    hist_.clear();
+    lastAccess_.clear();
+    accessCount_ = 0;
+    reuses_ = 0;
+}
+
+SetReuseMonitor::SetReuseMonitor(std::uint64_t num_sets,
+                                 int line_bytes)
+    : numSets_(num_sets), lineBytes_(line_bytes)
+{
+    if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0)
+        fatal("SetReuseMonitor needs a power-of-two set count");
+}
+
+void
+SetReuseMonitor::access(Addr addr)
+{
+    monitor_.access((addr / lineBytes_) & (numSets_ - 1));
+}
+
+void
+SetReuseMonitor::accessAt(Addr addr, std::uint64_t position)
+{
+    monitor_.accessAt((addr / lineBytes_) & (numSets_ - 1),
+                      position);
+}
+
+} // namespace adaptsim::counters

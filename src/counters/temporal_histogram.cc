@@ -1,0 +1,26 @@
+#include "counters/temporal_histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adaptsim::counters
+{
+
+TemporalHistogram::TemporalHistogram(std::uint64_t max_value,
+                                     std::size_t num_bins)
+    : hist_(Histogram::Binning::Linear, num_bins, 0,
+            std::max<std::uint64_t>(1,
+                (max_value + num_bins - 1) / num_bins))
+{
+    if (num_bins < 2)
+        fatal("temporal histogram needs at least 2 bins");
+}
+
+void
+TemporalHistogram::record(std::uint64_t value, std::uint64_t cycles)
+{
+    hist_.add(value, cycles);
+}
+
+} // namespace adaptsim::counters

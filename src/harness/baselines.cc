@@ -1,0 +1,83 @@
+#include "harness/baselines.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adaptsim::harness
+{
+
+double
+efficiencyOn(const GatheredPhase &phase,
+             const space::Configuration &config)
+{
+    const std::uint64_t code = config.encode();
+    for (const auto &e : phase.evals) {
+        if (e.config.encode() == code)
+            return e.efficiency;
+    }
+    fatal("configuration ", config.toString(),
+          " was not evaluated on phase ", phase.phase.workload, "/",
+          phase.phase.index);
+}
+
+double
+meanEfficiencyOf(const std::vector<GatheredPhase> &phases,
+                 const space::Configuration &config)
+{
+    double log_sum = 0.0;
+    double weight_sum = 0.0;
+    for (const auto &ph : phases) {
+        const double eff = efficiencyOn(ph, config);
+        if (eff <= 0.0)
+            return 0.0;
+        const double w = ph.phase.weight > 0.0 ? ph.phase.weight :
+                                                 1.0;
+        log_sum += w * std::log(eff);
+        weight_sum += w;
+    }
+    if (weight_sum <= 0.0)
+        return 0.0;
+    return std::exp(log_sum / weight_sum);
+}
+
+space::Configuration
+bestStaticConfig(const std::vector<GatheredPhase> &phases,
+                 const std::vector<space::Configuration> &candidates)
+{
+    if (candidates.empty())
+        fatal("bestStaticConfig with no candidates");
+    const space::Configuration *best = &candidates.front();
+    double best_eff = -1.0;
+    for (const auto &cand : candidates) {
+        const double eff = meanEfficiencyOf(phases, cand);
+        if (eff > best_eff) {
+            best_eff = eff;
+            best = &cand;
+        }
+    }
+    return *best;
+}
+
+space::Configuration
+bestStaticForProgram(const std::vector<GatheredPhase> &phases,
+                     const std::vector<space::Configuration> &
+                         candidates)
+{
+    return bestStaticConfig(phases, candidates);
+}
+
+const ml::ConfigEval &
+bestDynamic(const GatheredPhase &phase)
+{
+    if (phase.evals.empty())
+        fatal("bestDynamic on phase with no evaluations");
+    const ml::ConfigEval *best = &phase.evals.front();
+    for (const auto &e : phase.evals) {
+        if (e.efficiency > best->efficiency)
+            best = &e;
+    }
+    return *best;
+}
+
+} // namespace adaptsim::harness

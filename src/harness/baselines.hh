@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's three reference points:
+ *  - best overall static configuration (Sec. VI-A, Table III role);
+ *  - best specialised static configuration per program (Sec. VII-A);
+ *  - best dynamic (per-phase oracle) configuration (Sec. VII-B).
+ *
+ * Static baselines are selected from candidates that were evaluated
+ * on *every* relevant phase (the shared pool); comparisons use the
+ * phase-weighted geometric mean of efficiency, which is
+ * scale-invariant across phases whose absolute efficiencies differ by
+ * orders of magnitude.
+ */
+
+#ifndef ADAPTSIM_HARNESS_BASELINES_HH
+#define ADAPTSIM_HARNESS_BASELINES_HH
+
+#include "harness/gather.hh"
+
+namespace adaptsim::harness
+{
+
+/** Efficiency of @p config on a phase (fatal if not sampled). */
+double efficiencyOn(const GatheredPhase &phase,
+                    const space::Configuration &config);
+
+/** Phase-weighted geometric-mean efficiency of @p config. */
+double meanEfficiencyOf(const std::vector<GatheredPhase> &phases,
+                        const space::Configuration &config);
+
+/**
+ * Best overall static configuration: the candidate with the highest
+ * weighted geomean efficiency across all phases.
+ */
+space::Configuration
+bestStaticConfig(const std::vector<GatheredPhase> &phases,
+                 const std::vector<space::Configuration> &candidates);
+
+/**
+ * Best specialised static configuration for one program (phases must
+ * all belong to it).
+ */
+space::Configuration
+bestStaticForProgram(const std::vector<GatheredPhase> &phases,
+                     const std::vector<space::Configuration> &
+                         candidates);
+
+/** Oracle: best sampled configuration of one phase. */
+const ml::ConfigEval &bestDynamic(const GatheredPhase &phase);
+
+} // namespace adaptsim::harness
+
+#endif // ADAPTSIM_HARNESS_BASELINES_HH

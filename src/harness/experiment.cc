@@ -1,0 +1,220 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "workload/spec_suite.hh"
+
+namespace adaptsim::harness
+{
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opt;
+    const double scale = experimentScale();
+    opt.programLength = static_cast<std::uint64_t>(
+        opt.programLength * scale);
+    opt.intervalLength = static_cast<std::uint64_t>(
+        opt.intervalLength * scale);
+    opt.warmLength = static_cast<std::uint64_t>(
+        opt.warmLength * scale);
+    opt.gather.sharedRandomConfigs = static_cast<std::size_t>(
+        opt.gather.sharedRandomConfigs * scale);
+    opt.gather.localNeighbours = static_cast<std::size_t>(
+        opt.gather.localNeighbours * scale);
+    opt.dataDir = adaptsim::dataDir();
+    opt.threads = numThreads();
+    return opt;
+}
+
+Experiment::Experiment(ExperimentOptions options)
+    : opt_(std::move(options))
+{
+    if (opt_.dataDir.empty())
+        opt_.dataDir = adaptsim::dataDir();
+    repo_ = std::make_unique<EvalRepository>(
+        workload::specSuite(opt_.programLength), opt_.dataDir,
+        opt_.threads);
+}
+
+void
+Experiment::prepare()
+{
+    if (prepared_)
+        return;
+    prepared_ = true;
+
+    sharedPool_ = sharedConfigPool(opt_.gather);
+
+    // Extract SimPoint phases for every program.
+    std::vector<phase::Phase> all_phases;
+    phase::SimPointOptions sp;
+    sp.intervalLength = opt_.intervalLength;
+    sp.maxPhases = opt_.phasesPerProgram;
+    for (const auto &name : workload::specNames()) {
+        const auto &wl = repo_->workload(name);
+        auto ph = phase::extractPhases(wl, sp);
+        all_phases.insert(all_phases.end(), ph.begin(), ph.end());
+    }
+    inform("experiment: extracted ", all_phases.size(),
+           " phases; gathering training data (cached in ",
+           opt_.dataDir, ")");
+
+    phases_ = gatherTrainingData(*repo_, all_phases,
+                                 opt_.programLength,
+                                 opt_.warmLength, opt_.gather);
+
+    for (std::size_t i = 0; i < phases_.size(); ++i)
+        byProgram_[phases_[i].phase.workload].push_back(i);
+
+    inform("experiment: gather complete (",
+           repo_->simulationsRun(), " simulations run, ",
+           repo_->cacheHits(), " cache hits)");
+}
+
+const std::vector<GatheredPhase> &
+Experiment::phases()
+{
+    prepare();
+    return phases_;
+}
+
+const std::vector<space::Configuration> &
+Experiment::sharedPool()
+{
+    prepare();
+    return sharedPool_;
+}
+
+const space::Configuration &
+Experiment::baselineConfig()
+{
+    prepare();
+    if (!baseline_)
+        baseline_ = bestStaticConfig(phases_, sharedPool_);
+    return *baseline_;
+}
+
+double
+Experiment::baselineEfficiency(std::size_t idx)
+{
+    return efficiencyOn(phases()[idx], baselineConfig());
+}
+
+const std::map<std::string, std::vector<std::size_t>> &
+Experiment::phasesByProgram()
+{
+    prepare();
+    return byProgram_;
+}
+
+std::string
+Experiment::loocvCachePath(counters::FeatureSet set) const
+{
+    std::ostringstream os;
+    os << opt_.dataDir << "/loocv_"
+       << counters::featureSetName(set) << "_L"
+       << opt_.programLength << "_i" << opt_.intervalLength << "_w"
+       << opt_.warmLength << "_r" << opt_.gather.sharedRandomConfigs
+       << "_n" << opt_.gather.localNeighbours << "_l"
+       << opt_.trainer.lambda << "_t"
+       << opt_.trainer.goodThreshold << ".csv";
+    return os.str();
+}
+
+std::vector<ModelResult>
+Experiment::computeModelResults(counters::FeatureSet set)
+{
+    prepare();
+
+    std::vector<ModelResult> results(phases_.size());
+    bool loaded = false;
+
+    // Try the prediction cache first (training is minutes of CG).
+    {
+        std::ifstream in(loocvCachePath(set));
+        if (in) {
+            std::size_t count = 0;
+            std::string line;
+            while (std::getline(in, line)) {
+                std::istringstream ls(line);
+                std::size_t idx;
+                std::uint64_t code;
+                char comma;
+                if (ls >> idx >> comma >> code &&
+                    idx < results.size()) {
+                    results[idx].config =
+                        space::Configuration::decode(code);
+                    ++count;
+                }
+            }
+            loaded = count == results.size();
+        }
+    }
+
+    if (!loaded) {
+        inform("experiment: training LOOCV models (",
+               counters::featureSetName(set), " counters)");
+        std::vector<ml::PhaseData> data;
+        data.reserve(phases_.size());
+        for (const auto &g : phases_)
+            data.push_back(g.toPhaseData(set));
+        const auto predictions =
+            ml::leaveOneProgramOut(data, opt_.trainer);
+        for (const auto &p : predictions)
+            results[p.phaseIdx].config = p.predicted;
+
+        std::ofstream out(loocvCachePath(set));
+        if (out) {
+            for (std::size_t i = 0; i < results.size(); ++i)
+                out << i << ',' << results[i].config.encode()
+                    << '\n';
+        }
+    }
+
+    // Evaluate every prediction on its phase (cached simulations).
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        results[i].efficiency =
+            repo_->evaluate(phases_[i].spec, results[i].config)
+                .efficiency;
+    }
+    repo_->flush();
+    return results;
+}
+
+const std::vector<ModelResult> &
+Experiment::modelResults(counters::FeatureSet set)
+{
+    auto &slot = set == counters::FeatureSet::Advanced ?
+        advancedResults_ : basicResults_;
+    if (!slot)
+        slot = computeModelResults(set);
+    return *slot;
+}
+
+double
+Experiment::relativeEfficiency(
+    const std::vector<std::size_t> &idxs,
+    const std::function<double(std::size_t)> &efficiency_of)
+{
+    prepare();
+    double log_sum = 0.0;
+    double weight_sum = 0.0;
+    for (std::size_t idx : idxs) {
+        const double base = baselineEfficiency(idx);
+        const double eff = efficiency_of(idx);
+        if (base <= 0.0 || eff <= 0.0)
+            continue;
+        const double w = phases_[idx].phase.weight > 0.0 ?
+            phases_[idx].phase.weight : 1.0;
+        log_sum += w * std::log(eff / base);
+        weight_sum += w;
+    }
+    return weight_sum > 0.0 ? std::exp(log_sum / weight_sum) : 0.0;
+}
+
+} // namespace adaptsim::harness

@@ -1,0 +1,112 @@
+#include "harness/gather.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "space/sampling.hh"
+
+namespace adaptsim::harness
+{
+
+ml::PhaseData
+GatheredPhase::toPhaseData(counters::FeatureSet set) const
+{
+    ml::PhaseData data;
+    data.workload = phase.workload;
+    data.phaseIndex = phase.index;
+    data.weight = phase.weight;
+    data.features = set == counters::FeatureSet::Advanced ?
+        features.advanced : features.basic;
+    data.evals = evals;
+    return data;
+}
+
+space::Configuration
+paperBaselineConfig()
+{
+    // Table III.
+    return space::Configuration::fromValues(
+        {4, 144, 48, 32, 160, 4, 1, 16384, 1024, 24,
+         64 * 1024, 32 * 1024, 1024 * 1024, 12});
+}
+
+std::vector<space::Configuration>
+sharedConfigPool(const GatherOptions &options)
+{
+    Rng rng(options.seed);
+    auto pool =
+        space::uniformRandomSet(rng, options.sharedRandomConfigs);
+    // The paper's Table III baseline is always part of the pool so
+    // the best-static search has the classic candidate available.
+    pool.push_back(paperBaselineConfig());
+    return space::dedupe(std::move(pool));
+}
+
+std::vector<GatheredPhase>
+gatherTrainingData(EvalRepository &repo,
+                   const std::vector<phase::Phase> &phases,
+                   std::uint64_t program_length,
+                   std::uint64_t warm_length,
+                   const GatherOptions &options)
+{
+    const auto shared = sharedConfigPool(options);
+
+    std::vector<GatheredPhase> out;
+    out.reserve(phases.size());
+
+    for (const auto &ph : phases) {
+        GatheredPhase g;
+        g.phase = ph;
+        g.spec = PhaseSpec{ph.workload, program_length,
+                           ph.startInst, warm_length,
+                           ph.lengthInsts};
+
+        // 1. Shared uniform sample.
+        auto evals = repo.evaluateBatch(g.spec, shared);
+        auto record = [&](const space::Configuration &cfg,
+                          const EvalRecord &r) {
+            g.evals.push_back(ml::ConfigEval{cfg, r.efficiency});
+        };
+        for (std::size_t i = 0; i < shared.size(); ++i)
+            record(shared[i], evals[i]);
+
+        auto best_of = [&]() {
+            const ml::ConfigEval *best = &g.evals.front();
+            for (const auto &e : g.evals) {
+                if (e.efficiency > best->efficiency)
+                    best = &e;
+            }
+            return best->config;
+        };
+
+        // 2. Local neighbourhood of the best point found so far.
+        if (options.localNeighbours > 0) {
+            Rng rng(options.seed ^
+                    (std::hash<std::string>{}(ph.workload) +
+                     ph.index * 0x9e37ULL));
+            const auto neighbours = space::localNeighbours(
+                rng, best_of(), options.localNeighbours);
+            const auto n_evals =
+                repo.evaluateBatch(g.spec, neighbours);
+            for (std::size_t i = 0; i < neighbours.size(); ++i)
+                record(neighbours[i], n_evals[i]);
+        }
+
+        // 3. One-at-a-time sweep around the refined best.
+        if (options.oneAtATimeSweep) {
+            const auto sweep = space::oneAtATimeSweep(best_of());
+            const auto s_evals = repo.evaluateBatch(g.spec, sweep);
+            for (std::size_t i = 0; i < sweep.size(); ++i)
+                record(sweep[i], s_evals[i]);
+        }
+
+        // 4. Profiling-configuration counters.
+        g.features = repo.profile(g.spec);
+
+        out.push_back(std::move(g));
+        repo.flush();
+    }
+    return out;
+}
+
+} // namespace adaptsim::harness

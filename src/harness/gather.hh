@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Training-data gathering per Sec. V-C: a shared uniform random
+ * sample of the design space, per-phase local neighbourhoods of the
+ * best point found, and a final one-at-a-time sweep around the
+ * refined best.  The paper runs 1,298 simulations per phase; the
+ * counts here are scaled (see DESIGN.md) and controlled by
+ * ADAPTSIM_SCALE.
+ */
+
+#ifndef ADAPTSIM_HARNESS_GATHER_HH
+#define ADAPTSIM_HARNESS_GATHER_HH
+
+#include "harness/repository.hh"
+#include "ml/trainer.hh"
+#include "phase/simpoint.hh"
+
+namespace adaptsim::harness
+{
+
+/** Gathering knobs (defaults already scaled for a laptop run). */
+struct GatherOptions
+{
+    std::size_t sharedRandomConfigs = 64;   ///< paper: 1000
+    std::size_t localNeighbours = 16;       ///< paper: 200
+    bool oneAtATimeSweep = true;            ///< paper: yes (~93)
+    std::uint64_t seed = 2010;
+};
+
+/** Everything gathered about one phase. */
+struct GatheredPhase
+{
+    phase::Phase phase;
+    PhaseSpec spec;
+    std::vector<ml::ConfigEval> evals;
+    ProfileRecord features;
+
+    /** Convert to the ML-facing PhaseData for a feature set. */
+    ml::PhaseData toPhaseData(counters::FeatureSet set) const;
+};
+
+/** The shared uniform random configuration set (incl. Table III). */
+std::vector<space::Configuration>
+sharedConfigPool(const GatherOptions &options);
+
+/** The paper's Table III baseline configuration. */
+space::Configuration paperBaselineConfig();
+
+/**
+ * Gather training data for @p phases (Sec. V-C procedure).  All
+ * simulation goes through @p repo, so results are disk-cached.
+ */
+std::vector<GatheredPhase>
+gatherTrainingData(EvalRepository &repo,
+                   const std::vector<phase::Phase> &phases,
+                   std::uint64_t program_length,
+                   std::uint64_t warm_length,
+                   const GatherOptions &options);
+
+} // namespace adaptsim::harness
+
+#endif // ADAPTSIM_HARNESS_GATHER_HH

@@ -1,0 +1,272 @@
+#include "harness/repository.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "power/metrics.hh"
+#include "uarch/core.hh"
+
+namespace adaptsim::harness
+{
+
+namespace fs = std::filesystem;
+
+std::string
+PhaseSpec::key() const
+{
+    std::ostringstream os;
+    os << workload << "_L" << programLength << "_s" << startInst
+       << "_w" << warmLength << "_d" << detailLength;
+    return os.str();
+}
+
+EvalRepository::EvalRepository(std::vector<workload::Workload> suite,
+                               std::string data_dir, unsigned threads)
+    : suite_(std::move(suite)), dataDir_(std::move(data_dir)),
+      pool_(threads)
+{
+    std::error_code ec;
+    fs::create_directories(dataDir_, ec);
+    if (ec)
+        fatal("cannot create data directory ", dataDir_, ": ",
+              ec.message());
+}
+
+EvalRepository::~EvalRepository()
+{
+    flush();
+}
+
+const workload::Workload &
+EvalRepository::workload(const std::string &name) const
+{
+    for (const auto &wl : suite_) {
+        if (wl.name() == name)
+            return wl;
+    }
+    fatal("unknown workload in repository: ", name);
+}
+
+std::string
+EvalRepository::cachePath(const PhaseSpec &spec) const
+{
+    return dataDir_ + "/" + spec.key() + ".csv";
+}
+
+std::string
+EvalRepository::profilePath(const PhaseSpec &spec) const
+{
+    return dataDir_ + "/" + spec.key() + ".features";
+}
+
+void
+EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
+{
+    cache.loaded = true;
+    std::ifstream in(cachePath(spec));
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::uint64_t code;
+        EvalRecord r;
+        char comma;
+        if (ls >> code >> comma >> r.cycles >> comma >>
+            r.instructions >> comma >> r.seconds >> comma >>
+            r.joules >> comma >> r.ipc >> comma >> r.watts >>
+            comma >> r.efficiency) {
+            cache.records[code] = r;
+        }
+    }
+}
+
+EvalRepository::PhaseCache &
+EvalRepository::cacheFor(const PhaseSpec &spec)
+{
+    auto &cache = caches_[spec.key()];
+    if (!cache.loaded)
+        loadCache(spec, cache);
+    return cache;
+}
+
+EvalRecord
+EvalRepository::simulate(const PhaseSpec &spec,
+                         const space::Configuration &config)
+{
+    const auto &wl = workload(spec.workload);
+    // Each simulation gets its own wrong-path stream (the generator
+    // is stateful); seeding is canonical so results are reproducible.
+    workload::WrongPathGenerator wrong_path(wl.averageParams(),
+                                            wl.seed() ^ 0x57a71cULL);
+    const auto cc = uarch::CoreConfig::fromConfiguration(config);
+    uarch::Core core(cc, wrong_path);
+
+    const std::uint64_t warm_start =
+        spec.startInst >= spec.warmLength ?
+            spec.startInst - spec.warmLength :
+            0;
+    if (spec.warmLength > 0) {
+        const auto warm = wl.generate(warm_start, spec.warmLength);
+        core.warm(warm);
+    }
+    const auto trace =
+        wl.generate(spec.startInst, spec.detailLength);
+    const auto result = core.run(trace);
+    const auto m = power::computeMetrics(cc, result.events);
+
+    EvalRecord r;
+    r.cycles = m.cycles;
+    r.instructions = m.instructions;
+    r.seconds = m.seconds;
+    r.joules = m.joules;
+    r.ipc = m.ipc;
+    r.watts = m.watts;
+    r.efficiency = m.efficiency;
+    return r;
+}
+
+EvalRecord
+EvalRepository::evaluate(const PhaseSpec &spec,
+                         const space::Configuration &config)
+{
+    const std::uint64_t code = config.encode();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &cache = cacheFor(spec);
+        const auto it = cache.records.find(code);
+        if (it != cache.records.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+
+    const EvalRecord r = simulate(spec, config);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &cache = cacheFor(spec);
+    cache.records[code] = r;
+    cache.unsaved.emplace_back(code, r);
+    ++simulated_;
+    return r;
+}
+
+std::vector<EvalRecord>
+EvalRepository::evaluateBatch(
+    const PhaseSpec &spec,
+    const std::vector<space::Configuration> &configs)
+{
+    std::vector<EvalRecord> out(configs.size());
+    pool_.parallelFor(configs.size(), [&](std::size_t i) {
+        out[i] = evaluate(spec, configs[i]);
+    });
+    return out;
+}
+
+ProfileRecord
+EvalRepository::profile(const PhaseSpec &spec)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = profiles_.find(spec.key());
+        if (it != profiles_.end())
+            return it->second;
+    }
+
+    // Try the disk cache.
+    {
+        std::ifstream in(profilePath(spec));
+        if (in) {
+            ProfileRecord rec;
+            auto read_line = [&](std::vector<double> &v) {
+                std::string line;
+                if (!std::getline(in, line))
+                    return false;
+                std::istringstream ls(line);
+                double x;
+                while (ls >> x)
+                    v.push_back(x);
+                return !v.empty();
+            };
+            if (read_line(rec.basic) && read_line(rec.advanced)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                profiles_[spec.key()] = rec;
+                return rec;
+            }
+        }
+    }
+
+    // Run the profiling configuration with the counter bank.
+    const auto &wl = workload(spec.workload);
+    workload::WrongPathGenerator wrong_path(wl.averageParams(),
+                                            wl.seed() ^ 0x57a71cULL);
+    const auto profiling = space::Configuration::profiling();
+    const auto cc = uarch::CoreConfig::fromConfiguration(profiling);
+    uarch::Core core(cc, wrong_path);
+
+    const std::uint64_t warm_start =
+        spec.startInst >= spec.warmLength ?
+            spec.startInst - spec.warmLength :
+            0;
+    if (spec.warmLength > 0)
+        core.warm(wl.generate(warm_start, spec.warmLength));
+
+    counters::CounterBank bank(cc);
+    const auto trace =
+        wl.generate(spec.startInst, spec.detailLength);
+    const auto result = core.run(trace, &bank);
+    bank.finalise(result.events);
+
+    ProfileRecord rec;
+    rec.basic = counters::assembleFeatures(
+        bank, counters::FeatureSet::Basic);
+    rec.advanced = counters::assembleFeatures(
+        bank, counters::FeatureSet::Advanced);
+
+    // Persist.
+    {
+        std::ofstream out(profilePath(spec));
+        if (out) {
+            out.precision(10);
+            for (double v : rec.basic)
+                out << v << ' ';
+            out << '\n';
+            for (double v : rec.advanced)
+                out << v << ' ';
+            out << '\n';
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_[spec.key()] = rec;
+    ++simulated_;
+    return rec;
+}
+
+void
+EvalRepository::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[key, cache] : caches_) {
+        if (cache.unsaved.empty())
+            continue;
+        std::ofstream out(dataDir_ + "/" + key + ".csv",
+                          std::ios::app);
+        if (!out) {
+            warn("cannot persist cache for ", key);
+            continue;
+        }
+        out.precision(12);
+        for (const auto &[code, r] : cache.unsaved) {
+            out << code << ',' << r.cycles << ',' << r.instructions
+                << ',' << r.seconds << ',' << r.joules << ','
+                << r.ipc << ',' << r.watts << ',' << r.efficiency
+                << '\n';
+        }
+        cache.unsaved.clear();
+    }
+}
+
+} // namespace adaptsim::harness

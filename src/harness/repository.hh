@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Disk-cached simulation repository.
+ *
+ * Every (phase, configuration) simulation result is memoised in
+ * memory and persisted as CSV under ADAPTSIM_DATA_DIR, so the
+ * expensive Sec. V-C training-data gather runs once and every bench
+ * reuses it.  Profiling runs (with the counter bank attached) are
+ * cached the same way as serialized feature vectors.
+ */
+
+#ifndef ADAPTSIM_HARNESS_REPOSITORY_HH
+#define ADAPTSIM_HARNESS_REPOSITORY_HH
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "counters/feature_vector.hh"
+#include "harness/thread_pool.hh"
+#include "space/configuration.hh"
+#include "workload/workload.hh"
+
+namespace adaptsim::harness
+{
+
+/** Identity of one simulated interval of one workload. */
+struct PhaseSpec
+{
+    std::string workload;      ///< program name
+    std::uint64_t programLength = 0;
+    std::uint64_t startInst = 0;
+    std::uint64_t warmLength = 0;
+    std::uint64_t detailLength = 0;
+
+    /** Stable cache-file stem for this spec. */
+    std::string key() const;
+};
+
+/** Cached outcome of one (phase, config) simulation. */
+struct EvalRecord
+{
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double seconds = 0.0;
+    double joules = 0.0;
+    double ipc = 0.0;
+    double watts = 0.0;
+    double efficiency = 0.0;   ///< ips³/W
+};
+
+/** Feature vectors from one profiling run. */
+struct ProfileRecord
+{
+    std::vector<double> basic;
+    std::vector<double> advanced;
+};
+
+/** Memoising simulation evaluator shared by all benches. */
+class EvalRepository
+{
+  public:
+    /**
+     * @param suite the workload suite (looked up by name).
+     * @param data_dir on-disk cache directory (created if absent).
+     * @param threads evaluation parallelism.
+     */
+    EvalRepository(std::vector<workload::Workload> suite,
+                   std::string data_dir, unsigned threads);
+
+    ~EvalRepository();
+
+    /** Evaluate one configuration on one phase (cached). */
+    EvalRecord evaluate(const PhaseSpec &spec,
+                        const space::Configuration &config);
+
+    /** Evaluate many configurations on one phase, in parallel. */
+    std::vector<EvalRecord>
+    evaluateBatch(const PhaseSpec &spec,
+                  const std::vector<space::Configuration> &configs);
+
+    /** Profiling-configuration run with counters (cached). */
+    ProfileRecord profile(const PhaseSpec &spec);
+
+    /** Persist any unsaved results now. */
+    void flush();
+
+    const workload::Workload &workload(const std::string &name) const;
+
+    std::uint64_t simulationsRun() const { return simulated_; }
+    std::uint64_t cacheHits() const { return hits_; }
+
+  private:
+    struct PhaseCache
+    {
+        std::unordered_map<std::uint64_t, EvalRecord> records;
+        std::vector<std::pair<std::uint64_t, EvalRecord>> unsaved;
+        bool loaded = false;
+    };
+
+    /** Run the real simulation (no caching). */
+    EvalRecord simulate(const PhaseSpec &spec,
+                        const space::Configuration &config);
+
+    PhaseCache &cacheFor(const PhaseSpec &spec);
+    void loadCache(const PhaseSpec &spec, PhaseCache &cache);
+    std::string cachePath(const PhaseSpec &spec) const;
+    std::string profilePath(const PhaseSpec &spec) const;
+
+    std::vector<workload::Workload> suite_;
+    std::string dataDir_;
+    ThreadPool pool_;
+
+    std::mutex mutex_;
+    std::unordered_map<std::string, PhaseCache> caches_;
+    std::unordered_map<std::string, ProfileRecord> profiles_;
+    std::uint64_t simulated_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace adaptsim::harness
+
+#endif // ADAPTSIM_HARNESS_REPOSITORY_HH

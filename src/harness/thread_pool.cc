@@ -1,0 +1,90 @@
+#include "harness/thread_pool.hh"
+
+namespace adaptsim::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads)
+{
+    if (threads_ <= 1)
+        return;
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stopping_ || generation_ != seen_generation;
+            });
+            if (stopping_)
+                return;
+            seen_generation = generation_;
+            job = job_;
+        }
+
+        std::size_t local_done = 0;
+        for (;;) {
+            const std::size_t i =
+                nextIndex_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobSize_)
+                break;
+            (*job)(i);
+            ++local_done;
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            remaining_ -= local_done;
+            if (remaining_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_ <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        jobSize_ = n;
+        nextIndex_.store(0, std::memory_order_relaxed);
+        remaining_ = n;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+}
+
+} // namespace adaptsim::harness

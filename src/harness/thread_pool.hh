@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool with a blocking parallel-for, used
+ * to spread independent simulations over cores.
+ */
+
+#ifndef ADAPTSIM_HARNESS_THREAD_POOL_HH
+#define ADAPTSIM_HARNESS_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaptsim::harness
+{
+
+/** Fixed pool executing parallelFor batches. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0/1 runs inline (no threads). */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(0) … fn(n-1) across the pool; blocks until all done.
+     * fn must be safe to call concurrently for distinct indices.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    unsigned numThreads() const { return threads_; }
+
+  private:
+    void workerLoop();
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t jobSize_ = 0;
+    std::atomic<std::size_t> nextIndex_{0};
+    std::size_t remaining_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace adaptsim::harness
+
+#endif // ADAPTSIM_HARNESS_THREAD_POOL_HH

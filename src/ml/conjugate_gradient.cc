@@ -1,0 +1,109 @@
+#include "ml/conjugate_gradient.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptsim::ml
+{
+
+namespace
+{
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+infNorm(const std::vector<double> &a)
+{
+    double m = 0.0;
+    for (double v : a)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+} // namespace
+
+CgResult
+minimiseCg(const Objective &f, std::vector<double> &w,
+           const CgOptions &opt)
+{
+    const std::size_t n = w.size();
+    std::vector<double> grad(n), prev_grad(n), dir(n), trial(n);
+
+    CgResult result;
+    double fw = f(w, grad);
+    result.objective = fw;
+
+    // Initial direction: steepest descent.
+    for (std::size_t i = 0; i < n; ++i)
+        dir[i] = -grad[i];
+
+    double step = opt.initialStep;
+    for (std::size_t iter = 0; iter < opt.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+        if (infNorm(grad) < opt.gradTolerance) {
+            result.converged = true;
+            break;
+        }
+
+        double slope = dot(grad, dir);
+        if (slope >= 0.0) {
+            // Not a descent direction: restart with steepest descent.
+            for (std::size_t i = 0; i < n; ++i)
+                dir[i] = -grad[i];
+            slope = dot(grad, dir);
+            if (slope >= 0.0) {
+                result.converged = true;   // gradient numerically 0
+                break;
+            }
+        }
+
+        // Armijo backtracking line search.
+        double t = step;
+        double f_trial = 0.0;
+        bool accepted = false;
+        std::vector<double> trial_grad(n);
+        for (std::size_t bt = 0; bt < opt.maxBacktracks; ++bt) {
+            for (std::size_t i = 0; i < n; ++i)
+                trial[i] = w[i] + t * dir[i];
+            f_trial = f(trial, trial_grad);
+            if (f_trial <= fw + opt.armijoC * t * slope) {
+                accepted = true;
+                break;
+            }
+            t *= opt.backtrackFactor;
+        }
+        if (!accepted)
+            break;   // no further progress possible
+
+        // Accept the step.
+        w.swap(trial);
+        prev_grad.swap(grad);
+        grad.swap(trial_grad);
+        fw = f_trial;
+        result.objective = fw;
+
+        // Polak-Ribière+ with automatic restart.
+        double num = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            num += grad[i] * (grad[i] - prev_grad[i]);
+        const double den = dot(prev_grad, prev_grad);
+        const double beta =
+            den > 0.0 ? std::max(0.0, num / den) : 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            dir[i] = -grad[i] + beta * dir[i];
+
+        // Grow the next initial step when the search succeeded at the
+        // first attempt; shrink when it had to backtrack hard.
+        step = std::clamp(t * 2.0, 1e-6, 4.0);
+    }
+    return result;
+}
+
+} // namespace adaptsim::ml

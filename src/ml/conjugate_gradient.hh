@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Nonlinear conjugate-gradient minimiser (Polak-Ribière+ with an
+ * Armijo backtracking line search) used to fit the soft-max weights
+ * (Sec. IV-D cites conjugate gradient optimisation per Bishop).
+ */
+
+#ifndef ADAPTSIM_ML_CONJUGATE_GRADIENT_HH
+#define ADAPTSIM_ML_CONJUGATE_GRADIENT_HH
+
+#include <functional>
+#include <vector>
+
+namespace adaptsim::ml
+{
+
+/** Objective: fills @p grad and returns f(w). */
+using Objective = std::function<double(const std::vector<double> &w,
+                                       std::vector<double> &grad)>;
+
+/** Optimiser knobs. */
+struct CgOptions
+{
+    std::size_t maxIterations = 150;
+    double gradTolerance = 1e-5;     ///< stop when ‖g‖∞ < tol
+    double initialStep = 1.0;
+    double armijoC = 1e-4;
+    double backtrackFactor = 0.5;
+    std::size_t maxBacktracks = 40;
+};
+
+/** Result diagnostics. */
+struct CgResult
+{
+    double objective = 0.0;
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimise @p f starting from @p w (updated in place).
+ */
+CgResult minimiseCg(const Objective &f, std::vector<double> &w,
+                    const CgOptions &options = {});
+
+} // namespace adaptsim::ml
+
+#endif // ADAPTSIM_ML_CONJUGATE_GRADIENT_HH

@@ -1,0 +1,36 @@
+#include "ml/cross_validation.hh"
+
+#include <set>
+#include <string>
+
+namespace adaptsim::ml
+{
+
+std::vector<CvPrediction>
+leaveOneProgramOut(const std::vector<PhaseData> &phases,
+                   const TrainerOptions &options)
+{
+    std::set<std::string> programs;
+    for (const auto &ph : phases)
+        programs.insert(ph.workload);
+
+    std::vector<CvPrediction> out(phases.size());
+    for (const std::string &held_out : programs) {
+        std::vector<PhaseData> train;
+        train.reserve(phases.size());
+        for (const auto &ph : phases) {
+            if (ph.workload != held_out)
+                train.push_back(ph);
+        }
+        const AdaptivityModel model = trainModel(train, options);
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            if (phases[i].workload != held_out)
+                continue;
+            out[i].phaseIdx = i;
+            out[i].predicted = model.predict(phases[i].features);
+        }
+    }
+    return out;
+}
+
+} // namespace adaptsim::ml

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Leave-one-program-out cross-validation (Sec. V-D): when predicting
+ * for a program's phases, the model has never been trained on any
+ * phase of that program.
+ */
+
+#ifndef ADAPTSIM_ML_CROSS_VALIDATION_HH
+#define ADAPTSIM_ML_CROSS_VALIDATION_HH
+
+#include <vector>
+
+#include "ml/trainer.hh"
+
+namespace adaptsim::ml
+{
+
+/** Per-phase LOOCV outcome. */
+struct CvPrediction
+{
+    std::size_t phaseIdx;              ///< index into the input list
+    space::Configuration predicted;    ///< model's configuration
+};
+
+/**
+ * For every phase in @p phases, train on all *other programs'* phases
+ * and predict.  Returns one prediction per input phase, in order.
+ */
+std::vector<CvPrediction>
+leaveOneProgramOut(const std::vector<PhaseData> &phases,
+                   const TrainerOptions &options = {});
+
+} // namespace adaptsim::ml
+
+#endif // ADAPTSIM_ML_CROSS_VALIDATION_HH

@@ -1,0 +1,109 @@
+#include "ml/quantised.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptsim::ml
+{
+
+std::vector<std::uint8_t>
+quantiseFeatures(std::span<const double> x)
+{
+    // Features are assembled in [0, 1]; map to [0, 255].
+    std::vector<std::uint8_t> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double v = std::clamp(x[i], 0.0, 1.0);
+        out[i] = static_cast<std::uint8_t>(
+            std::lround(v * 255.0));
+    }
+    return out;
+}
+
+QuantisedClassifier::QuantisedClassifier(
+    const SoftmaxClassifier &source)
+    : dim_(source.dim()), numClasses_(source.numClasses()),
+      weights_(dim_ * numClasses_)
+{
+    // Symmetric per-classifier scale.  Argmax is scale-invariant, so
+    // a single positive scale preserves the decision as long as the
+    // quantisation error stays small relative to logit gaps.
+    double max_abs = 0.0;
+    for (double v : source.weights().data())
+        max_abs = std::max(max_abs, std::abs(v));
+    const double scale = max_abs > 0.0 ? 127.0 / max_abs : 1.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        weights_[i] = static_cast<std::int8_t>(std::clamp(
+            std::lround(source.weights().data()[i] * scale),
+            long(-127), long(127)));
+    }
+}
+
+std::size_t
+QuantisedClassifier::predict(std::span<const double> x) const
+{
+    const auto qx = quantiseFeatures(x);
+    // 32-bit accumulators suffice: 255 * 127 * D ≤ 2^31 for D ≤ 66k.
+    std::vector<std::int64_t> acc(numClasses_, 0);
+    for (std::size_t d = 0; d < dim_; ++d) {
+        const std::int64_t xv = qx[d];
+        if (xv == 0)
+            continue;
+        const std::int8_t *row = &weights_[d * numClasses_];
+        for (std::size_t k = 0; k < numClasses_; ++k)
+            acc[k] += xv * row[k];
+    }
+    return static_cast<std::size_t>(
+        std::max_element(acc.begin(), acc.end()) - acc.begin());
+}
+
+QuantisedModel::QuantisedModel(const AdaptivityModel &source)
+{
+    for (auto p : space::allParams()) {
+        classifiers_[static_cast<std::size_t>(p)] =
+            QuantisedClassifier(source.classifier(p));
+    }
+}
+
+space::Configuration
+QuantisedModel::predict(std::span<const double> x) const
+{
+    space::Configuration cfg;
+    for (auto p : space::allParams()) {
+        cfg.setIndex(p, static_cast<std::uint8_t>(
+            classifiers_[static_cast<std::size_t>(p)].predict(x)));
+    }
+    return cfg;
+}
+
+std::size_t
+QuantisedModel::storageBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &clf : classifiers_)
+        total += clf.storageBytes();
+    return total;
+}
+
+double
+QuantisedModel::agreement(
+    const AdaptivityModel &reference,
+    const std::vector<std::vector<double>> &features) const
+{
+    if (features.empty())
+        return 1.0;
+    std::size_t matches = 0;
+    std::size_t total = 0;
+    for (const auto &x : features) {
+        const auto full = reference.predict(x);
+        const auto quant = predict(x);
+        for (auto p : space::allParams()) {
+            ++total;
+            if (full.index(p) == quant.index(p))
+                ++matches;
+        }
+    }
+    return static_cast<double>(matches) /
+           static_cast<double>(total);
+}
+
+} // namespace adaptsim::ml

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The hardware-friendly 8-bit inference path of Sec. VIII: weights are
+ * quantised to signed 8-bit integers (2KB-class storage) and
+ * prediction is the integer argmax of Wᵀx — a multiclass
+ * generalisation of the perceptron circuit of Jiménez & Lin.
+ */
+
+#ifndef ADAPTSIM_ML_QUANTISED_HH
+#define ADAPTSIM_ML_QUANTISED_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/trainer.hh"
+
+namespace adaptsim::ml
+{
+
+/** Int8 replica of one soft-max classifier. */
+class QuantisedClassifier
+{
+  public:
+    QuantisedClassifier() = default;
+
+    /** Quantise @p source symmetrically per classifier. */
+    explicit QuantisedClassifier(const SoftmaxClassifier &source);
+
+    /** Integer argmax prediction (features quantised to uint8). */
+    std::size_t predict(std::span<const double> x) const;
+
+    std::size_t storageBytes() const { return weights_.size(); }
+
+  private:
+    std::size_t dim_ = 0;
+    std::size_t numClasses_ = 0;
+    std::vector<std::int8_t> weights_;   ///< D × K row-major
+};
+
+/** Int8 replica of the full 14-parameter model. */
+class QuantisedModel
+{
+  public:
+    QuantisedModel() = default;
+
+    explicit QuantisedModel(const AdaptivityModel &source);
+
+    space::Configuration predict(std::span<const double> x) const;
+
+    /** Total weight storage in bytes (the paper estimates ~2KB). */
+    std::size_t storageBytes() const;
+
+    /**
+     * Fraction of per-parameter predictions that match the
+     * full-precision model over @p features (agreement check).
+     */
+    double agreement(const AdaptivityModel &reference,
+                     const std::vector<std::vector<double>> &features)
+        const;
+
+  private:
+    std::array<QuantisedClassifier, space::numParams> classifiers_;
+};
+
+/** Quantise one feature vector to the 8-bit inference domain. */
+std::vector<std::uint8_t> quantiseFeatures(std::span<const double> x);
+
+} // namespace adaptsim::ml
+
+#endif // ADAPTSIM_ML_QUANTISED_HH

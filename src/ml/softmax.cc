@@ -1,0 +1,116 @@
+#include "ml/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adaptsim::ml
+{
+
+SoftmaxClassifier::SoftmaxClassifier(std::size_t dim,
+                                     std::size_t num_classes)
+    : weights_(dim, num_classes, 1.0)   // deterministic all-ones init
+{
+    if (dim == 0 || num_classes < 2)
+        fatal("SoftmaxClassifier needs dim > 0 and ≥ 2 classes");
+}
+
+std::vector<double>
+SoftmaxClassifier::logits(std::span<const double> x) const
+{
+    if (x.size() != weights_.rows())
+        panic("feature dimension mismatch in SoftmaxClassifier");
+    std::vector<double> b(weights_.cols());
+    weights_.transposeMultiply(x.data(), b.data());
+    return b;
+}
+
+std::size_t
+SoftmaxClassifier::predict(std::span<const double> x) const
+{
+    const auto b = logits(x);
+    return static_cast<std::size_t>(
+        std::max_element(b.begin(), b.end()) - b.begin());
+}
+
+std::vector<double>
+SoftmaxClassifier::probabilities(std::span<const double> x) const
+{
+    auto b = logits(x);
+    const double m = *std::max_element(b.begin(), b.end());
+    double z = 0.0;
+    for (double &v : b) {
+        v = std::exp(v - m);
+        z += v;
+    }
+    for (double &v : b)
+        v /= z;
+    return b;
+}
+
+double
+softmaxObjective(const std::vector<GroupedExample> &examples,
+                 std::size_t dim, std::size_t num_classes,
+                 double lambda, const std::vector<double> &w,
+                 std::vector<double> &grad)
+{
+    const std::size_t K = num_classes;
+    grad.assign(w.size(), 0.0);
+
+    double nll = 0.0;
+    std::vector<double> logits(K);
+    std::vector<double> p(K);
+
+    for (const auto &ex : examples) {
+        // logits = Wᵀx.
+        std::fill(logits.begin(), logits.end(), 0.0);
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double xd = ex.x[d];
+            if (xd == 0.0)
+                continue;
+            const double *row = &w[d * K];
+            for (std::size_t k = 0; k < K; ++k)
+                logits[k] += xd * row[k];
+        }
+
+        // Stable log-sum-exp.
+        const double m =
+            *std::max_element(logits.begin(), logits.end());
+        double z = 0.0;
+        for (std::size_t k = 0; k < K; ++k) {
+            p[k] = std::exp(logits[k] - m);
+            z += p[k];
+        }
+        const double log_z = std::log(z) + m;
+        double count_total = 0.0;
+        for (std::size_t k = 0; k < K; ++k) {
+            p[k] /= z;
+            count_total += ex.classCount[k];
+            if (ex.classCount[k] > 0.0)
+                nll -= ex.classCount[k] * (logits[k] - log_z);
+        }
+
+        // Gradient: (n_g p_k - c_{gk}) x_g.
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double xd = ex.x[d];
+            if (xd == 0.0)
+                continue;
+            double *row = &grad[d * K];
+            for (std::size_t k = 0; k < K; ++k) {
+                row[k] +=
+                    xd * (count_total * p[k] - ex.classCount[k]);
+            }
+        }
+    }
+
+    // L2 penalty λ tr(WᵀW) (see header note on the paper's sign).
+    double reg = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        reg += w[i] * w[i];
+        grad[i] += 2.0 * lambda * w[i];
+    }
+    return nll + lambda * reg;
+}
+
+} // namespace adaptsim::ml

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The per-parameter soft-max model of Sec. IV.
+ *
+ * P(y = s_k | x) = exp(w_kᵀx) / Σ_j exp(w_jᵀx)          (eq. 3)
+ *
+ * Prediction avoids the exponentiation entirely: y* = argmax_k (Wᵀx)_k
+ * (eq. 8-9).  Training maximises the regularised data log-likelihood
+ * (eq. 5-7); note the paper's eq. 6 prints "+ λ tr(WᵀW)" on a
+ * maximised objective — we implement the evidently intended penalty
+ * (subtract), i.e. standard L2-regularised multinomial logistic
+ * regression.
+ */
+
+#ifndef ADAPTSIM_ML_SOFTMAX_HH
+#define ADAPTSIM_ML_SOFTMAX_HH
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace adaptsim::ml
+{
+
+/**
+ * One grouped training example: a phase's counter vector together
+ * with the per-class counts of its good configurations.  Grouping by
+ * phase is an exact reformulation of the per-sample likelihood (all
+ * good configs of a phase share the same x) and makes training ~20x
+ * cheaper.
+ */
+struct GroupedExample
+{
+    std::vector<double> x;            ///< D features
+    std::vector<double> classCount;   ///< K counts (≥ 0, sum > 0)
+};
+
+/** Multinomial logistic-regression classifier with argmax inference. */
+class SoftmaxClassifier
+{
+  public:
+    SoftmaxClassifier() = default;
+
+    /**
+     * @param dim feature dimension D.
+     * @param num_classes number of values K the parameter can take.
+     */
+    SoftmaxClassifier(std::size_t dim, std::size_t num_classes);
+
+    /** Hard prediction: argmax_k of the logits (eq. 8-9). */
+    std::size_t predict(std::span<const double> x) const;
+
+    /** Logits b = Wᵀx. */
+    std::vector<double> logits(std::span<const double> x) const;
+
+    /** Full posterior P(y = s_k | x) (eq. 3). */
+    std::vector<double> probabilities(std::span<const double> x) const;
+
+    std::size_t dim() const { return weights_.rows(); }
+    std::size_t numClasses() const { return weights_.cols(); }
+
+    Matrix &weights() { return weights_; }
+    const Matrix &weights() const { return weights_; }
+
+  private:
+    Matrix weights_;   ///< D × K
+};
+
+/**
+ * Regularised negative log-likelihood and its gradient over grouped
+ * examples:
+ *
+ *   f(W) = -Σ_g Σ_k c_{gk} log σ_k(x_g, W) + λ tr(WᵀW)
+ *
+ * @param w flat D×K weights (row-major, as Matrix::data()).
+ * @param grad output gradient, same layout, overwritten.
+ * @return objective value (to be minimised).
+ */
+double softmaxObjective(const std::vector<GroupedExample> &examples,
+                        std::size_t dim, std::size_t num_classes,
+                        double lambda,
+                        const std::vector<double> &w,
+                        std::vector<double> &grad);
+
+} // namespace adaptsim::ml
+
+#endif // ADAPTSIM_ML_SOFTMAX_HH

@@ -1,0 +1,131 @@
+#include "phase/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace adaptsim::phase
+{
+
+namespace
+{
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
+       Rng &rng, std::size_t max_iters)
+{
+    KMeansResult result;
+    if (points.empty())
+        return result;
+    k = std::min(k, points.size());
+    if (k == 0)
+        fatal("kmeans with k == 0");
+    const std::size_t dim = points[0].size();
+    for (const auto &p : points) {
+        if (p.size() != dim)
+            fatal("kmeans points have mixed dimensions");
+    }
+
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.nextBounded(points.size())]);
+    std::vector<double> min_d2(points.size(),
+                               std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            min_d2[i] = std::min(min_d2[i],
+                                 sqDist(points[i],
+                                        centroids.back()));
+        }
+        double total = 0.0;
+        for (double d : min_d2)
+            total += d;
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid: fewer
+            // distinct points than k; stop early.
+            break;
+        }
+        double target = rng.nextDouble() * total;
+        std::size_t chosen = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            target -= min_d2[i];
+            if (target < 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    k = centroids.size();
+
+    // Lloyd iterations.
+    std::vector<std::size_t> assignment(points.size(), 0);
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = sqDist(points[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assignment[i] != best) {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Recompute centroids.
+        for (auto &c : centroids)
+            std::fill(c.begin(), c.end(), 0.0);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            auto &c = centroids[assignment[i]];
+            for (std::size_t d = 0; d < dim; ++d)
+                c[d] += points[i][d];
+            ++counts[assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster deterministically.
+                centroids[c] = points[rng.nextBounded(points.size())];
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d)
+                centroids[c][d] /= double(counts[c]);
+        }
+    }
+
+    result.assignment = std::move(assignment);
+    result.clusterSizes.assign(k, 0);
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ++result.clusterSizes[result.assignment[i]];
+        result.inertia += sqDist(points[i],
+                                 centroids[result.assignment[i]]);
+    }
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+} // namespace adaptsim::phase

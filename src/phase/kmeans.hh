@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic k-means clustering (k-means++ seeding, Lloyd
+ * iterations) used by the SimPoint-style phase extractor.
+ */
+
+#ifndef ADAPTSIM_PHASE_KMEANS_HH
+#define ADAPTSIM_PHASE_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace adaptsim::phase
+{
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    std::vector<std::size_t> assignment;           ///< per point
+    std::vector<std::vector<double>> centroids;    ///< k × dim
+    std::vector<std::size_t> clusterSizes;         ///< per cluster
+    double inertia = 0.0;   ///< sum of squared distances
+};
+
+/**
+ * Cluster @p points into (at most) @p k clusters.
+ *
+ * @param points dense equal-dimension vectors.
+ * @param k requested cluster count (clamped to points.size()).
+ * @param rng deterministic generator for the k-means++ seeding.
+ * @param max_iters Lloyd iteration cap.
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    std::size_t k, Rng &rng,
+                    std::size_t max_iters = 64);
+
+} // namespace adaptsim::phase
+
+#endif // ADAPTSIM_PHASE_KMEANS_HH

@@ -1,0 +1,49 @@
+#include "phase/online_detector.hh"
+
+#include <limits>
+
+namespace adaptsim::phase
+{
+
+OnlinePhaseDetector::OnlinePhaseDetector(double threshold,
+                                         std::size_t max_phases)
+    : threshold_(threshold), maxPhases_(max_phases)
+{
+}
+
+OnlinePhaseDetector::Observation
+OnlinePhaseDetector::observe(const Bbv &bbv)
+{
+    // Find the closest known signature.
+    std::size_t best = ~std::size_t(0);
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < signatures_.size(); ++i) {
+        const double d = signatures_[i].manhattan(bbv);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+
+    Observation obs;
+    if (best != ~std::size_t(0) && best_d <= threshold_) {
+        obs.newPhase = false;
+        obs.phaseId = best;
+        ++observations_[best];
+    } else if (signatures_.size() < maxPhases_) {
+        obs.newPhase = true;
+        obs.phaseId = signatures_.size();
+        signatures_.push_back(bbv);
+        observations_.push_back(1);
+    } else {
+        // Table full: fall back to the nearest signature.
+        obs.newPhase = false;
+        obs.phaseId = best;
+        ++observations_[best];
+    }
+    obs.phaseChanged = obs.phaseId != current_;
+    current_ = obs.phaseId;
+    return obs;
+}
+
+} // namespace adaptsim::phase

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Online phase-change detection (stage 1 of Fig. 2).
+ *
+ * The detector consumes one BBV per executed interval and reports
+ * whether the program has entered a different phase.  Recurring
+ * phases are recognised through a signature table so the controller
+ * re-profiles only genuinely new behaviour — the paper observes
+ * reconfiguration roughly once every 10 intervals.
+ */
+
+#ifndef ADAPTSIM_PHASE_ONLINE_DETECTOR_HH
+#define ADAPTSIM_PHASE_ONLINE_DETECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "phase/bbv.hh"
+
+namespace adaptsim::phase
+{
+
+/** Signature-table online phase detector. */
+class OnlinePhaseDetector
+{
+  public:
+    /**
+     * @param threshold Manhattan distance above which an interval is
+     *        considered a different phase (BBVs are L1-normalised, so
+     *        the distance lies in [0, 2]).
+     * @param max_phases signature table capacity.
+     */
+    explicit OnlinePhaseDetector(double threshold = 1.0,
+                                 std::size_t max_phases = 64);
+
+    /** Outcome of observing one interval. */
+    struct Observation
+    {
+        bool phaseChanged;   ///< different phase than the last interval
+        bool newPhase;       ///< first time this phase is seen
+        std::size_t phaseId; ///< stable phase identifier
+    };
+
+    /** Feed the BBV of the interval that just finished. */
+    Observation observe(const Bbv &bbv);
+
+    /** Number of distinct phases seen so far. */
+    std::size_t numPhases() const { return signatures_.size(); }
+
+    std::size_t currentPhase() const { return current_; }
+
+  private:
+    double threshold_;
+    std::size_t maxPhases_;
+    std::vector<Bbv> signatures_;
+    std::vector<std::uint64_t> observations_;
+    std::size_t current_ = ~std::size_t(0);
+};
+
+} // namespace adaptsim::phase
+
+#endif // ADAPTSIM_PHASE_ONLINE_DETECTOR_HH

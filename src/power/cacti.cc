@@ -1,0 +1,104 @@
+#include "power/cacti.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptsim::power
+{
+
+namespace
+{
+
+// Fitted-constant block.  Names follow the term they scale.
+constexpr double sramTimeBaseNs = 0.28;     ///< decoder + sense floor
+constexpr double sramTimeWireNs = 0.032;    ///< wire term coefficient
+constexpr double sramTimeWireExp = 0.58;    ///< wire growth vs KB
+constexpr double sramTimeAssocNs = 0.012;   ///< per-way mux penalty
+
+constexpr double sramEnergyBaseNj = 0.006;
+constexpr double sramEnergyKbNj = 0.0016;   ///< per (KB)^0.72
+constexpr double sramEnergyKbExp = 0.72;
+constexpr double sramEnergyAssocNj = 0.0015;
+
+constexpr double sramLeakWPerKb = 0.0009;   ///< 0.9 mW per KB
+
+constexpr double rfEnergyCellNj = 0.00010;  ///< per entry^0.5
+constexpr double rfEnergyPortFactor = 0.22; ///< per extra port
+constexpr double rfLeakWPerEntryPort = 2.2e-5;
+
+constexpr double camEnergyPerEntryNj = 0.00065;
+
+} // namespace
+
+double
+sramAccessTimeNs(std::uint64_t bytes, int assoc)
+{
+    const double kb = static_cast<double>(bytes) / 1024.0;
+    return sramTimeBaseNs +
+           sramTimeWireNs * std::pow(kb, sramTimeWireExp) +
+           sramTimeAssocNs * static_cast<double>(assoc);
+}
+
+double
+sramAccessEnergyNj(std::uint64_t bytes, int assoc)
+{
+    const double kb = static_cast<double>(bytes) / 1024.0;
+    return sramEnergyBaseNj +
+           sramEnergyKbNj * std::pow(kb, sramEnergyKbExp) +
+           sramEnergyAssocNj * static_cast<double>(assoc);
+}
+
+double
+sramLeakageW(std::uint64_t bytes)
+{
+    return sramLeakWPerKb * static_cast<double>(bytes) / 1024.0;
+}
+
+double
+rfAccessEnergyNj(int entries, int read_ports, int write_ports)
+{
+    const double ports =
+        static_cast<double>(read_ports + write_ports);
+    // Bit-lines lengthen with entries; word-lines with ports.  Both
+    // capacitances multiply, giving the well-known ports^~1.2 growth.
+    return rfEnergyCellNj *
+           std::sqrt(static_cast<double>(std::max(entries, 1))) *
+           (1.0 + rfEnergyPortFactor * ports) *
+           std::pow(ports, 0.2);
+}
+
+double
+rfLeakageW(int entries, int read_ports, int write_ports)
+{
+    return rfLeakWPerEntryPort * static_cast<double>(entries) *
+           (1.0 + 0.12 * static_cast<double>(read_ports +
+                                             write_ports));
+}
+
+double
+arrayAccessEnergyNj(int entries, int entry_bytes)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(std::max(entries, 1)) *
+        static_cast<std::uint64_t>(std::max(entry_bytes, 1));
+    // Payload RAMs are single-ported direct arrays: cheaper than a
+    // same-size cache (no tag match), modelled as 60% of its energy.
+    return 0.6 * sramAccessEnergyNj(bytes, 1);
+}
+
+double
+arrayLeakageW(int entries, int entry_bytes)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(std::max(entries, 1)) *
+        static_cast<std::uint64_t>(std::max(entry_bytes, 1));
+    return sramLeakageW(bytes);
+}
+
+double
+camSearchEnergyNj(int entries)
+{
+    return camEnergyPerEntryNj * static_cast<double>(entries);
+}
+
+} // namespace adaptsim::power

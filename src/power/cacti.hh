@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cacti-style technology model: access time, access energy and leakage
+ * of SRAM arrays, register files and CAM structures as functions of
+ * their geometry.
+ *
+ * The curves below are smooth fits in the spirit of Cacti 4.0 at a
+ * 90nm node.  Absolute values are approximate; what the experiments
+ * rely on is the *relative* scaling with size and port count, which
+ * follows the standard sqrt/linear wire-dominated behaviour.
+ */
+
+#ifndef ADAPTSIM_POWER_CACTI_HH
+#define ADAPTSIM_POWER_CACTI_HH
+
+#include <cstdint>
+
+namespace adaptsim::power
+{
+
+/** Access time of an SRAM array in nanoseconds. */
+double sramAccessTimeNs(std::uint64_t bytes, int assoc);
+
+/** Dynamic energy of one SRAM array access in nanojoules. */
+double sramAccessEnergyNj(std::uint64_t bytes, int assoc);
+
+/** Leakage power of an SRAM array in watts. */
+double sramLeakageW(std::uint64_t bytes);
+
+/**
+ * Dynamic energy of one register-file access in nanojoules.  Port
+ * count inflates both word-line and bit-line capacitance, hence the
+ * super-linear port term (Rixner et al. style RF scaling).
+ */
+double rfAccessEnergyNj(int entries, int read_ports, int write_ports);
+
+/** Leakage power of a register file in watts. */
+double rfLeakageW(int entries, int read_ports, int write_ports);
+
+/** Dynamic energy of one payload-RAM access (ROB/IQ/LSQ entry). */
+double arrayAccessEnergyNj(int entries, int entry_bytes);
+
+/** Leakage of a payload RAM in watts. */
+double arrayLeakageW(int entries, int entry_bytes);
+
+/**
+ * Dynamic energy of one CAM search over @p entries tags (IQ wakeup,
+ * LSQ address check); scales linearly with the number of entries
+ * searched.
+ */
+double camSearchEnergyNj(int entries);
+
+/** DRAM access latency (load-to-use) in nanoseconds. */
+inline constexpr double dramLatencyNs = 60.0;
+
+/** Energy of one DRAM access in nanojoules. */
+inline constexpr double dramAccessEnergyNj = 12.0;
+
+} // namespace adaptsim::power
+
+#endif // ADAPTSIM_POWER_CACTI_HH

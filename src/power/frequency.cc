@@ -1,0 +1,38 @@
+#include "power/frequency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptsim::power
+{
+
+double
+clockPeriodSeconds(int depth_fo4)
+{
+    // Useful logic plus latch/skew overhead per stage.
+    return (static_cast<double>(depth_fo4) + latchOverheadFo4) *
+           fo4DelaySeconds;
+}
+
+double
+clockFrequencyHz(int depth_fo4)
+{
+    return 1.0 / clockPeriodSeconds(depth_fo4);
+}
+
+int
+pipelineStages(int depth_fo4)
+{
+    const int stages = static_cast<int>(
+        std::ceil(totalLogicFo4 / static_cast<double>(depth_fo4)));
+    return std::max(stages, 5);
+}
+
+int
+frontendStages(int depth_fo4)
+{
+    // Roughly half of the pipeline precedes dispatch.
+    return std::max(2, (pipelineStages(depth_fo4) + 1) / 2);
+}
+
+} // namespace adaptsim::power

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Pipeline-depth → clock-frequency model.
+ *
+ * The Depth parameter of Table I is the useful-logic delay per stage in
+ * FO4 units.  Fewer FO4 per stage means a deeper pipeline and a faster
+ * clock, but a larger misprediction penalty and more latch/clock power
+ * (Hartstein & Puzak, MICRO'03).
+ */
+
+#ifndef ADAPTSIM_POWER_FREQUENCY_HH
+#define ADAPTSIM_POWER_FREQUENCY_HH
+
+namespace adaptsim::power
+{
+
+/** One FO4 inverter delay at the modelled 90nm node, in seconds. */
+inline constexpr double fo4DelaySeconds = 25e-12;
+
+/** Latch + skew overhead per stage, in FO4. */
+inline constexpr double latchOverheadFo4 = 3.0;
+
+/** Total useful logic depth of the scalar pipeline, in FO4. */
+inline constexpr double totalLogicFo4 = 220.0;
+
+/** Clock period in seconds for a given useful FO4 per stage. */
+double clockPeriodSeconds(int depth_fo4);
+
+/** Clock frequency in Hz for a given useful FO4 per stage. */
+double clockFrequencyHz(int depth_fo4);
+
+/** Number of pipeline stages implied by the per-stage depth. */
+int pipelineStages(int depth_fo4);
+
+/** Front-end (fetch..dispatch) stages; sets the mispredict refill. */
+int frontendStages(int depth_fo4);
+
+} // namespace adaptsim::power
+
+#endif // ADAPTSIM_POWER_FREQUENCY_HH

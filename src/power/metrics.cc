@@ -1,0 +1,33 @@
+#include "power/metrics.hh"
+
+namespace adaptsim::power
+{
+
+double
+efficiencyOf(double ips, double watts)
+{
+    if (watts <= 0.0)
+        return 0.0;
+    return ips * ips * ips / watts;
+}
+
+Metrics
+computeMetrics(const uarch::CoreConfig &cfg,
+               const uarch::EventCounts &events)
+{
+    Metrics m;
+    m.cycles = static_cast<double>(events.cycles);
+    m.instructions = static_cast<double>(events.committedOps);
+    m.seconds = m.cycles * cfg.clockPeriodSec;
+    m.ipc = m.cycles > 0.0 ? m.instructions / m.cycles : 0.0;
+    m.ips = m.seconds > 0.0 ? m.instructions / m.seconds : 0.0;
+
+    const EnergyModel model(cfg);
+    const EnergyBreakdown energy = model.evaluate(events);
+    m.joules = energy.totalJ();
+    m.watts = m.seconds > 0.0 ? m.joules / m.seconds : 0.0;
+    m.efficiency = efficiencyOf(m.ips, m.watts);
+    return m;
+}
+
+} // namespace adaptsim::power

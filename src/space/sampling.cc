@@ -1,0 +1,115 @@
+#include "space/sampling.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace adaptsim::space
+{
+
+Configuration
+uniformRandom(Rng &rng)
+{
+    const auto &ds = DesignSpace::the();
+    Configuration cfg;
+    for (auto p : allParams()) {
+        cfg.setIndex(p, static_cast<std::uint8_t>(
+            rng.nextBounded(ds.numValues(p))));
+    }
+    return cfg;
+}
+
+std::vector<Configuration>
+uniformRandomSet(Rng &rng, std::size_t count)
+{
+    std::vector<Configuration> out;
+    std::unordered_set<std::uint64_t> seen;
+    out.reserve(count);
+    // The space has 627bn points; duplicates are vanishingly rare, but
+    // we guard anyway so callers get exactly `count` distinct configs.
+    while (out.size() < count) {
+        Configuration cfg = uniformRandom(rng);
+        if (seen.insert(cfg.encode()).second)
+            out.push_back(cfg);
+    }
+    return out;
+}
+
+std::vector<Configuration>
+localNeighbours(Rng &rng, const Configuration &centre, std::size_t count,
+                int radius)
+{
+    const auto &ds = DesignSpace::the();
+    std::vector<Configuration> out;
+    std::unordered_set<std::uint64_t> seen{centre.encode()};
+    out.reserve(count);
+
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = count * 64 + 256;
+    while (out.size() < count && attempts++ < max_attempts) {
+        Configuration cfg = centre;
+        // Perturb between 1 and 3 parameters.
+        const std::size_t moves = 1 + rng.nextBounded(3);
+        for (std::size_t m = 0; m < moves; ++m) {
+            const auto p = static_cast<Param>(
+                rng.nextBounded(numParams));
+            const int num_vals =
+                static_cast<int>(ds.numValues(p));
+            int idx = static_cast<int>(cfg.index(p));
+            int delta = 0;
+            while (delta == 0)
+                delta = static_cast<int>(
+                    rng.nextRange(-radius, radius));
+            idx = std::clamp(idx + delta, 0, num_vals - 1);
+            cfg.setIndex(p, static_cast<std::uint8_t>(idx));
+        }
+        if (seen.insert(cfg.encode()).second)
+            out.push_back(cfg);
+    }
+    return out;
+}
+
+std::vector<Configuration>
+oneAtATimeSweep(const Configuration &centre)
+{
+    const auto &ds = DesignSpace::the();
+    std::vector<Configuration> out;
+    for (auto p : allParams()) {
+        for (std::size_t i = 0; i < ds.numValues(p); ++i) {
+            if (i == centre.index(p))
+                continue;
+            Configuration cfg = centre;
+            cfg.setIndex(p, static_cast<std::uint8_t>(i));
+            out.push_back(cfg);
+        }
+    }
+    return out;
+}
+
+std::vector<Configuration>
+parameterSweep(const Configuration &centre, Param p)
+{
+    const auto &ds = DesignSpace::the();
+    std::vector<Configuration> out;
+    out.reserve(ds.numValues(p));
+    for (std::size_t i = 0; i < ds.numValues(p); ++i) {
+        Configuration cfg = centre;
+        cfg.setIndex(p, static_cast<std::uint8_t>(i));
+        out.push_back(cfg);
+    }
+    return out;
+}
+
+std::vector<Configuration>
+dedupe(std::vector<Configuration> configs)
+{
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<Configuration> out;
+    out.reserve(configs.size());
+    for (const auto &cfg : configs) {
+        if (seen.insert(cfg.encode()).second)
+            out.push_back(cfg);
+    }
+    return out;
+}
+
+} // namespace adaptsim::space

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Design-space sampling strategies used to gather training data
+ * (Sec. V-C): uniform random sampling, local neighbourhoods of a good
+ * configuration, and one-at-a-time parameter sweeps.
+ */
+
+#ifndef ADAPTSIM_SPACE_SAMPLING_HH
+#define ADAPTSIM_SPACE_SAMPLING_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "space/configuration.hh"
+
+namespace adaptsim::space
+{
+
+/** Draw one configuration uniformly at random from the full space. */
+Configuration uniformRandom(Rng &rng);
+
+/** Draw @p count distinct uniform-random configurations. */
+std::vector<Configuration> uniformRandomSet(Rng &rng, std::size_t count);
+
+/**
+ * Draw @p count local neighbours of @p centre: each neighbour moves a
+ * random subset of parameters by at most @p radius value-index steps.
+ * The centre itself is never returned.
+ */
+std::vector<Configuration> localNeighbours(Rng &rng,
+                                           const Configuration &centre,
+                                           std::size_t count,
+                                           int radius = 2);
+
+/**
+ * One-at-a-time sweep: for each parameter, every legal value with all
+ * other parameters pinned to @p centre.  The centre itself is excluded.
+ * Mirrors the paper's final refinement step (93 configs for Table I).
+ */
+std::vector<Configuration> oneAtATimeSweep(const Configuration &centre);
+
+/**
+ * Sweep of a single parameter @p p over all its legal values with the
+ * rest pinned to @p centre (the centre's own value is included).
+ */
+std::vector<Configuration> parameterSweep(const Configuration &centre,
+                                          Param p);
+
+/** Remove duplicate configurations, preserving first-seen order. */
+std::vector<Configuration> dedupe(std::vector<Configuration> configs);
+
+} // namespace adaptsim::space
+
+#endif // ADAPTSIM_SPACE_SAMPLING_HH

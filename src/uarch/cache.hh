@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Set-associative cache tag model with true-LRU replacement.
+ *
+ * Only tags are modelled (trace-driven timing simulation never needs
+ * data).  Timing is produced by the hierarchy, which composes L1I/L1D
+ * with the unified L2.
+ */
+
+#ifndef ADAPTSIM_UARCH_CACHE_HH
+#define ADAPTSIM_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace adaptsim::uarch
+{
+
+/** One level of set-associative cache (tags + LRU only). */
+class Cache
+{
+  public:
+    /**
+     * @param bytes total capacity.
+     * @param assoc ways per set.
+     * @param line_bytes line size (power of two).
+     */
+    Cache(std::uint64_t bytes, int assoc, int line_bytes);
+
+    /** Result of an access. */
+    struct AccessResult
+    {
+        bool hit;
+        bool writeback;   ///< a dirty victim was evicted
+    };
+
+    /**
+     * Access @p addr; on a miss the line is filled (evicting LRU).
+     * @p write marks the line dirty.
+     */
+    AccessResult access(Addr addr, bool write);
+
+    /** Probe without fill or LRU update (used by monitors). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (reconfiguration flush). */
+    void flush();
+
+    std::uint64_t numSets() const { return numSets_; }
+    int assoc() const { return assoc_; }
+    int lineBytes() const { return lineBytes_; }
+    std::uint64_t sizeBytes() const { return bytes_; }
+
+    /** Set index of @p addr in this geometry. */
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr / lineBytes_) & (numSets_ - 1);
+    }
+
+    /** Line-granular block address of @p addr. */
+    Addr blockAddr(Addr addr) const
+    {
+        return addr / lineBytes_;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        std::uint32_t lruStamp = 0;
+        bool dirty = false;
+    };
+
+    std::uint64_t bytes_;
+    int assoc_;
+    int lineBytes_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;
+    std::uint32_t clock_ = 0;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_CACHE_HH

@@ -1,0 +1,81 @@
+#include "uarch/cache_hierarchy.hh"
+
+namespace adaptsim::uarch
+{
+
+CacheHierarchy::CacheHierarchy(const CoreConfig &cfg)
+    : cfg_(cfg),
+      icache_(cfg.icacheBytes, CoreConfig::l1Assoc,
+              CoreConfig::cacheLineBytes),
+      dcache_(cfg.dcacheBytes, CoreConfig::l1Assoc,
+              CoreConfig::cacheLineBytes),
+      l2_(cfg.l2Bytes, CoreConfig::l2Assoc,
+          CoreConfig::cacheLineBytes)
+{
+}
+
+int
+CacheHierarchy::fetchAccess(Addr pc, EventCounts &ev, SimObserver *obs)
+{
+    ++ev.icAccesses;
+    if (obs)
+        obs->onICacheAccess(pc);
+    const auto l1 = icache_.access(pc, false);
+    if (l1.hit)
+        return cfg_.icacheLatency;
+
+    ++ev.icMisses;
+    ++ev.l2Accesses;
+    if (obs)
+        obs->onL2Access(pc);
+    const auto l2 = l2_.access(pc, false);
+    if (l2.hit)
+        return cfg_.icacheLatency + cfg_.l2Latency;
+
+    ++ev.l2Misses;
+    ++ev.memAccesses;
+    return cfg_.icacheLatency + cfg_.l2Latency + cfg_.memLatency;
+}
+
+int
+CacheHierarchy::dataAccess(Addr addr, bool write, EventCounts &ev,
+                           SimObserver *obs)
+{
+    ++ev.dcAccesses;
+    if (obs)
+        obs->onDCacheAccess(addr, write);
+    const auto l1 = dcache_.access(addr, write);
+    if (l1.hit)
+        return cfg_.dcacheLatency;
+
+    ++ev.dcMisses;
+    if (l1.writeback)
+        ++ev.dcWritebacks;
+    ++ev.l2Accesses;
+    if (obs)
+        obs->onL2Access(addr);
+    const auto l2 = l2_.access(addr, l1.writeback);
+    if (l2.hit)
+        return cfg_.dcacheLatency + cfg_.l2Latency;
+
+    ++ev.l2Misses;
+    ++ev.memAccesses;
+    return cfg_.dcacheLatency + cfg_.l2Latency + cfg_.memLatency;
+}
+
+void
+CacheHierarchy::warmFetch(Addr pc)
+{
+    if (!icache_.access(pc, false).hit)
+        l2_.access(pc, false);
+}
+
+void
+CacheHierarchy::warmData(Addr addr, bool write)
+{
+    const auto l1 = dcache_.access(addr, write);
+    if (!l1.hit)
+        l2_.access(addr, l1.writeback);
+}
+
+} // namespace adaptsim::uarch

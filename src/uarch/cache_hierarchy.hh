@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Three-level memory hierarchy: split L1 I/D over a unified L2 over
+ * flat DRAM.  Returns load-to-use latencies in cycles and counts the
+ * events the power model charges.
+ */
+
+#ifndef ADAPTSIM_UARCH_CACHE_HIERARCHY_HH
+#define ADAPTSIM_UARCH_CACHE_HIERARCHY_HH
+
+#include "uarch/cache.hh"
+#include "uarch/core_config.hh"
+#include "uarch/events.hh"
+
+namespace adaptsim::uarch
+{
+
+/** L1I + L1D + unified L2 + DRAM latency model. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const CoreConfig &cfg);
+
+    /**
+     * Instruction fetch of the line containing @p pc.
+     * @return latency in cycles (hit latency on an L1 hit).
+     */
+    int fetchAccess(Addr pc, EventCounts &ev, SimObserver *obs);
+
+    /**
+     * Data access at @p addr.
+     * @return load-to-use latency in cycles.
+     */
+    int dataAccess(Addr addr, bool write, EventCounts &ev,
+                   SimObserver *obs);
+
+    /** Warm-mode access without timing or statistics. */
+    void warmFetch(Addr pc);
+    void warmData(Addr addr, bool write);
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+    const Cache &l2cache() const { return l2_; }
+
+  private:
+    CoreConfig cfg_;
+    Cache icache_;
+    Cache dcache_;
+    Cache l2_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_CACHE_HIERARCHY_HH

@@ -1,0 +1,39 @@
+#include "uarch/core.hh"
+
+namespace adaptsim::uarch
+{
+
+Core::Core(const CoreConfig &cfg,
+           workload::WrongPathGenerator &wrong_path)
+    : cfg_(cfg), caches_(cfg),
+      bpred_(cfg.gshareEntries, cfg.btbEntries,
+             CoreConfig::btbAssoc),
+      wrongPath_(wrong_path)
+{
+}
+
+void
+Core::warm(std::span<const isa::MicroOp> trace)
+{
+    Addr last_line = invalidAddr;
+    for (const auto &op : trace) {
+        const Addr line = op.pc / CoreConfig::cacheLineBytes;
+        if (line != last_line) {
+            caches_.warmFetch(op.pc);
+            last_line = line;
+        }
+        if (op.isMem())
+            caches_.warmData(op.effAddr, op.isStore());
+        else if (op.isBranch())
+            bpred_.warmAccess(op.pc, op.taken);
+    }
+}
+
+SimResult
+Core::run(std::span<const isa::MicroOp> trace, SimObserver *observer)
+{
+    Pipeline pipeline(cfg_, caches_, bpred_, wrongPath_, observer);
+    return pipeline.run(trace);
+}
+
+} // namespace adaptsim::uarch

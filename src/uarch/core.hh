@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Core facade: one configured processor with its caches and branch
+ * predictor, supporting functional warm-up followed by a detailed
+ * timing run (the paper warms structures before every measurement).
+ */
+
+#ifndef ADAPTSIM_UARCH_CORE_HH
+#define ADAPTSIM_UARCH_CORE_HH
+
+#include <span>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache_hierarchy.hh"
+#include "uarch/core_config.hh"
+#include "uarch/pipeline.hh"
+#include "workload/wrong_path.hh"
+
+namespace adaptsim::uarch
+{
+
+/** One simulated core instance. */
+class Core
+{
+  public:
+    /**
+     * @param cfg derived configuration.
+     * @param wrong_path wrong-path µop source for this workload.
+     */
+    Core(const CoreConfig &cfg,
+         workload::WrongPathGenerator &wrong_path);
+
+    /**
+     * Functionally warm caches and branch predictor with @p trace
+     * (no timing, no statistics) — the "warm for 10M instructions"
+     * step of Sec. V-A, scaled.
+     */
+    void warm(std::span<const isa::MicroOp> trace);
+
+    /**
+     * Detailed timing simulation of @p trace on this core.
+     * @param observer optional profiling counter sink.
+     */
+    SimResult run(std::span<const isa::MicroOp> trace,
+                  SimObserver *observer = nullptr);
+
+    const CoreConfig &config() const { return cfg_; }
+    const CacheHierarchy &caches() const { return caches_; }
+
+  private:
+    CoreConfig cfg_;
+    CacheHierarchy caches_;
+    BranchPredictor bpred_;
+    workload::WrongPathGenerator &wrongPath_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_CORE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Concrete timing parameters of one simulated core, derived from a
+ * point in the Table I design space plus the technology model.
+ */
+
+#ifndef ADAPTSIM_UARCH_CORE_CONFIG_HH
+#define ADAPTSIM_UARCH_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "space/configuration.hh"
+
+namespace adaptsim::uarch
+{
+
+/** All timing-relevant core parameters, fully derived. */
+struct CoreConfig
+{
+    // Raw Table I parameters.
+    int width = 4;
+    int robSize = 144;
+    int iqSize = 48;
+    int lsqSize = 32;
+    int rfSize = 160;          ///< physical regs per file (int and fp)
+    int rfRdPorts = 4;
+    int rfWrPorts = 1;
+    int gshareEntries = 16384;
+    int btbEntries = 1024;
+    int maxBranches = 24;
+    std::uint64_t icacheBytes = 64 * 1024;
+    std::uint64_t dcacheBytes = 32 * 1024;
+    std::uint64_t l2Bytes = 1024 * 1024;
+    int depthFo4 = 12;
+
+    // Fixed structure geometry.
+    static constexpr int cacheLineBytes = 64;
+    static constexpr int l1Assoc = 2;
+    static constexpr int l2Assoc = 8;
+    static constexpr int btbAssoc = 4;
+
+    // Derived timing (filled by fromConfiguration / derive()).
+    double clockPeriodSec = 0.0;
+    double clockHz = 0.0;
+    int numStages = 0;
+    int frontendDelay = 0;     ///< fetch→dispatch latency in cycles
+    int icacheLatency = 1;     ///< L1-I hit latency (cycles)
+    int dcacheLatency = 1;     ///< L1-D hit latency (cycles)
+    int l2Latency = 8;         ///< L2 hit latency (cycles)
+    int memLatency = 200;      ///< DRAM latency (cycles)
+
+    // Functional unit counts derived from width.
+    int numAlu = 4;
+    int numMemPorts = 2;
+    int numFpu = 2;
+    int numMul = 1;
+
+    // Execution latencies (cycles).
+    int latIntMul = 3;
+    int latIntDiv = 20;
+    int latFpAlu = 3;
+    int latFpMul = 5;
+    int latFpDiv = 24;
+
+    /** Number of physical registers beyond architectural state. */
+    int intRenameRegs() const;
+
+    /** Build a fully derived CoreConfig from a design-space point. */
+    static CoreConfig fromConfiguration(const space::Configuration &c);
+
+    /** Recompute every derived field from the raw parameters. */
+    void derive();
+
+    /** Compact human-readable summary. */
+    std::string toString() const;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_CORE_CONFIG_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Event and occupancy accounting produced by one timing simulation.
+ *
+ * The pipeline counts micro-events; the power model (Wattch-style)
+ * converts them into energy after the fact, and the counter machinery
+ * summarises them into model features.
+ */
+
+#ifndef ADAPTSIM_UARCH_EVENTS_HH
+#define ADAPTSIM_UARCH_EVENTS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace adaptsim::uarch
+{
+
+/** Micro-event counts accumulated over a detailed simulation. */
+struct EventCounts
+{
+    // Global progress.
+    std::uint64_t cycles = 0;
+    std::uint64_t committedOps = 0;     ///< correct-path retirements
+    std::uint64_t fetchedOps = 0;       ///< incl. wrong path
+    std::uint64_t wrongPathOps = 0;     ///< fetched on the wrong path
+    std::uint64_t squashedOps = 0;      ///< dispatched then squashed
+    std::uint64_t iqSquashed = 0;       ///< squashed while in the IQ
+    std::uint64_t lsqSquashed = 0;      ///< squashed while in the LSQ
+
+    // Caches.
+    std::uint64_t icAccesses = 0, icMisses = 0;
+    std::uint64_t dcAccesses = 0, dcMisses = 0, dcWritebacks = 0;
+    std::uint64_t l2Accesses = 0, l2Misses = 0;
+    std::uint64_t memAccesses = 0;
+
+    // Branch prediction.
+    std::uint64_t bpredLookups = 0;
+    std::uint64_t bpredUpdates = 0;
+    std::uint64_t condBranches = 0;     ///< committed conditional
+    std::uint64_t mispredicts = 0;      ///< committed mispredictions
+    std::uint64_t btbLookups = 0, btbHits = 0;
+
+    // Pipeline structures.
+    std::uint64_t robWrites = 0, robReads = 0;
+    std::uint64_t iqWrites = 0, iqIssues = 0, iqWakeups = 0;
+    std::uint64_t lsqInserts = 0, lsqSearches = 0;
+    std::uint64_t rfReads = 0, rfWrites = 0;
+
+    // Functional unit operations (incl. wrong path).
+    std::uint64_t aluOps = 0, mulOps = 0, divOps = 0;
+    std::uint64_t fpOps = 0, fpMulOps = 0, fpDivOps = 0;
+    std::uint64_t memPortOps = 0;
+
+    // Commit-stall attribution: cycles the ROB head was not ready,
+    // split by the class of the blocking op.
+    std::uint64_t stallHeadLoad = 0;
+    std::uint64_t stallHeadStore = 0;
+    std::uint64_t stallHeadFp = 0;
+    std::uint64_t stallHeadDiv = 0;
+    std::uint64_t stallHeadOther = 0;
+
+    // Occupancy integrals (sum over cycles of entries in use) for
+    // per-structure leakage/clock-gating modelling and counters.
+    std::uint64_t occRobSum = 0;
+    std::uint64_t occIqSum = 0;
+    std::uint64_t occLsqSum = 0;
+    std::uint64_t occIntRfSum = 0;
+    std::uint64_t occFpRfSum = 0;
+
+    /** Accumulate another run's counts (used by multi-interval runs). */
+    void
+    merge(const EventCounts &o)
+    {
+        cycles += o.cycles;
+        committedOps += o.committedOps;
+        fetchedOps += o.fetchedOps;
+        wrongPathOps += o.wrongPathOps;
+        squashedOps += o.squashedOps;
+        iqSquashed += o.iqSquashed;
+        lsqSquashed += o.lsqSquashed;
+        icAccesses += o.icAccesses;
+        icMisses += o.icMisses;
+        dcAccesses += o.dcAccesses;
+        dcMisses += o.dcMisses;
+        dcWritebacks += o.dcWritebacks;
+        l2Accesses += o.l2Accesses;
+        l2Misses += o.l2Misses;
+        memAccesses += o.memAccesses;
+        bpredLookups += o.bpredLookups;
+        bpredUpdates += o.bpredUpdates;
+        condBranches += o.condBranches;
+        mispredicts += o.mispredicts;
+        btbLookups += o.btbLookups;
+        btbHits += o.btbHits;
+        robWrites += o.robWrites;
+        robReads += o.robReads;
+        iqWrites += o.iqWrites;
+        iqIssues += o.iqIssues;
+        iqWakeups += o.iqWakeups;
+        lsqInserts += o.lsqInserts;
+        lsqSearches += o.lsqSearches;
+        rfReads += o.rfReads;
+        rfWrites += o.rfWrites;
+        aluOps += o.aluOps;
+        mulOps += o.mulOps;
+        divOps += o.divOps;
+        fpOps += o.fpOps;
+        fpMulOps += o.fpMulOps;
+        fpDivOps += o.fpDivOps;
+        memPortOps += o.memPortOps;
+        stallHeadLoad += o.stallHeadLoad;
+        stallHeadStore += o.stallHeadStore;
+        stallHeadFp += o.stallHeadFp;
+        stallHeadDiv += o.stallHeadDiv;
+        stallHeadOther += o.stallHeadOther;
+        occRobSum += o.occRobSum;
+        occIqSum += o.occIqSum;
+        occLsqSum += o.occLsqSum;
+        occIntRfSum += o.occIntRfSum;
+        occFpRfSum += o.occFpRfSum;
+    }
+
+    /** Instructions per cycle over the run (committed ops). */
+    double ipc() const
+    {
+        return cycles ? double(committedOps) / double(cycles) : 0.0;
+    }
+};
+
+/** Per-cycle snapshot passed to observers (profiling counters). */
+struct CycleSample
+{
+    std::uint32_t robOcc = 0;
+    std::uint32_t iqOcc = 0;
+    std::uint32_t lsqOcc = 0;
+    std::uint32_t intRegsUsed = 0;
+    std::uint32_t fpRegsUsed = 0;
+    std::uint32_t rdPortsUsed = 0;
+    std::uint32_t wrPortsUsed = 0;
+    std::uint32_t aluUsed = 0;
+    std::uint32_t memPortsUsed = 0;
+    std::uint32_t fpUnitsUsed = 0;
+    std::uint32_t iqSpecOps = 0;     ///< speculative ops in the IQ
+    std::uint32_t lsqSpecOps = 0;    ///< speculative ops in the LSQ
+};
+
+/** Observer interface for profiling-time counter gathering. */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** Called once per simulated cycle; @p repeat ≥ 1 collapses
+     *  identical idle cycles that the simulator fast-forwarded. */
+    virtual void onCycle(const CycleSample &, std::uint64_t) {}
+
+    /** L1-D demand access (committed-path and wrong-path). */
+    virtual void onDCacheAccess(Addr, bool /* write */) {}
+
+    /** L1-I access (one per fetched line). */
+    virtual void onICacheAccess(Addr) {}
+
+    /** Unified L2 access (on either L1's miss path). */
+    virtual void onL2Access(Addr) {}
+
+    /** Conditional-branch fetch with its BTB outcome. */
+    virtual void onBranchFetch(Addr, bool /* btbHit */) {}
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_EVENTS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-cycle functional unit availability.
+ *
+ * ALUs, FPUs and memory ports are fully pipelined (capacity = count
+ * per cycle); multipliers are pipelined with a dedicated pool; divides
+ * are unpipelined and block their unit until completion.
+ */
+
+#ifndef ADAPTSIM_UARCH_FUNCTIONAL_UNITS_HH
+#define ADAPTSIM_UARCH_FUNCTIONAL_UNITS_HH
+
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+#include "uarch/core_config.hh"
+
+namespace adaptsim::uarch
+{
+
+/** Tracks which functional units are free in the current cycle. */
+class FunctionalUnits
+{
+  public:
+    explicit FunctionalUnits(const CoreConfig &cfg);
+
+    /** Reset per-cycle capacity at the start of cycle @p now. */
+    void beginCycle(Cycles now);
+
+    /** True if an op of @p cls could issue this cycle. */
+    bool canIssue(isa::OpClass cls, Cycles now) const;
+
+    /**
+     * Consume the unit for an op of @p cls issuing at @p now.
+     * canIssue() must have returned true this cycle.
+     */
+    void issue(isa::OpClass cls, Cycles now, int latency);
+
+    /** Units of each pool in use this cycle (for counters). */
+    int aluUsed() const { return aluUsed_; }
+    int memPortsUsed() const { return memUsed_; }
+    int fpUsed() const { return fpUsed_; }
+
+  private:
+    CoreConfig cfg_;
+    int aluUsed_ = 0;
+    int memUsed_ = 0;
+    int fpUsed_ = 0;
+    int mulUsed_ = 0;
+    Cycles intDivBusyUntil_ = 0;
+    Cycles fpDivBusyUntil_ = 0;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_FUNCTIONAL_UNITS_HH

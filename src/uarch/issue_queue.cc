@@ -1,0 +1,42 @@
+#include "uarch/issue_queue.hh"
+
+#include "common/logging.hh"
+
+namespace adaptsim::uarch
+{
+
+IssueQueue::IssueQueue(int capacity)
+    : capacity_(capacity)
+{
+    if (capacity < 2)
+        fatal("issue queue capacity too small: ", capacity);
+    slots_.reserve(capacity);
+}
+
+void
+IssueQueue::insert(std::int32_t rob_idx)
+{
+    if (full())
+        panic("IssueQueue::insert on full queue");
+    slots_.push_back(rob_idx);
+}
+
+void
+IssueQueue::removeAt(const std::vector<std::size_t> &positions)
+{
+    if (positions.empty())
+        return;
+    std::size_t out = 0;
+    std::size_t next_removed = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (next_removed < positions.size() &&
+            positions[next_removed] == i) {
+            ++next_removed;
+            continue;
+        }
+        slots_[out++] = slots_[i];
+    }
+    slots_.resize(out);
+}
+
+} // namespace adaptsim::uarch

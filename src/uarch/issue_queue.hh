@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Issue queue: age-ordered list of ROB slots waiting to issue.
+ */
+
+#ifndef ADAPTSIM_UARCH_ISSUE_QUEUE_HH
+#define ADAPTSIM_UARCH_ISSUE_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace adaptsim::uarch
+{
+
+/** Age-ordered issue queue holding ROB slot indices. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(int capacity);
+
+    bool full() const
+    {
+        return static_cast<int>(slots_.size()) == capacity_;
+    }
+    bool empty() const { return slots_.empty(); }
+    int occupancy() const { return static_cast<int>(slots_.size()); }
+    int capacity() const { return capacity_; }
+
+    /** Insert a newly dispatched op (youngest). */
+    void insert(std::int32_t rob_idx);
+
+    /** Age-ordered view for the issue scan. */
+    const std::vector<std::int32_t> &slots() const { return slots_; }
+
+    /**
+     * Remove the entries at the positions in @p positions (ascending
+     * order, as produced by the issue scan).
+     */
+    void removeAt(const std::vector<std::size_t> &positions);
+
+    /** Remove every entry for which @p pred(rob_idx) is true. */
+    template <typename Pred>
+    void
+    removeIf(Pred &&pred)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (!pred(slots_[i]))
+                slots_[out++] = slots_[i];
+        }
+        slots_.resize(out);
+    }
+
+  private:
+    int capacity_;
+    std::vector<std::int32_t> slots_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_ISSUE_QUEUE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Load/store queue: age-ordered memory ops with store→load forwarding
+ * and conservative same-address ordering.
+ */
+
+#ifndef ADAPTSIM_UARCH_LOAD_STORE_QUEUE_HH
+#define ADAPTSIM_UARCH_LOAD_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/rob.hh"
+
+namespace adaptsim::uarch
+{
+
+/** Age-ordered LSQ holding ROB slot indices of memory ops. */
+class LoadStoreQueue
+{
+  public:
+    explicit LoadStoreQueue(int capacity);
+
+    bool full() const
+    {
+        return static_cast<int>(slots_.size()) == capacity_;
+    }
+    int occupancy() const { return static_cast<int>(slots_.size()); }
+    int capacity() const { return capacity_; }
+
+    /** Insert a newly dispatched memory op (youngest). */
+    void insert(std::int32_t rob_idx);
+
+    /** Remove a specific completed load. */
+    void remove(std::int32_t rob_idx);
+
+    /** Remove every entry for which @p pred(rob_idx) is true. */
+    template <typename Pred>
+    void
+    removeIf(Pred &&pred)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (!pred(slots_[i]))
+                slots_[out++] = slots_[i];
+        }
+        slots_.resize(out);
+    }
+
+    /** Outcome of checking a load against older stores. */
+    enum class LoadCheck
+    {
+        NoConflict,   ///< no older store to the same line word
+        Forward,      ///< older store has completed: forward its data
+        MustWait      ///< older same-address store not yet executed
+    };
+
+    /**
+     * Search older stores for an address match with the load in
+     * @p rob slot @p load_idx.  @p searched counts CAM-searched
+     * entries for the power model.
+     */
+    LoadCheck checkLoad(const Rob &rob, std::int32_t load_idx,
+                        std::uint64_t &searched) const;
+
+    const std::vector<std::int32_t> &slots() const { return slots_; }
+
+  private:
+    int capacity_;
+    std::vector<std::int32_t> slots_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_LOAD_STORE_QUEUE_HH

@@ -1,0 +1,641 @@
+#include "uarch/pipeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace adaptsim::uarch
+{
+
+using isa::MicroOp;
+using isa::OpClass;
+using isa::noReg;
+
+Pipeline::Pipeline(const CoreConfig &cfg, CacheHierarchy &caches,
+                   BranchPredictor &bpred,
+                   workload::WrongPathGenerator &wrong_path,
+                   SimObserver *observer)
+    : cfg_(cfg), caches_(caches), bpred_(bpred),
+      wrongPathGen_(wrong_path), observer_(observer),
+      rob_(cfg.robSize), iq_(cfg.iqSize), lsq_(cfg.lsqSize),
+      rfInt_(cfg.rfSize), rfFp_(cfg.rfSize), fus_(cfg),
+      wbStamp_(wbRingSize, ~Cycles(0)),
+      wbCount_(wbRingSize, 0)
+{
+    frontQCapacity_ = static_cast<std::size_t>(cfg.width) *
+                      (cfg.frontendDelay + 1);
+}
+
+bool
+Pipeline::producersReady(const RobEntry &e) const
+{
+    const auto ready = [&](std::int32_t idx, std::uint32_t seq) {
+        if (idx < 0 || !rob_.valid(idx, seq))
+            return true;   // no producer, or producer committed
+        const RobEntry &p = rob_.entry(idx);
+        return p.state == OpState::Done && p.doneCycle <= now_;
+    };
+    return ready(e.prod0, e.prod0Seq) && ready(e.prod1, e.prod1Seq);
+}
+
+int
+Pipeline::execLatency(RobEntry &e)
+{
+    switch (e.op.opClass) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+      case OpClass::Store:
+        return 1;
+      case OpClass::IntMul:
+        return cfg_.latIntMul;
+      case OpClass::IntDiv:
+        return cfg_.latIntDiv;
+      case OpClass::FpAlu:
+        return cfg_.latFpAlu;
+      case OpClass::FpMul:
+        return cfg_.latFpMul;
+      case OpClass::FpDiv:
+        return cfg_.latFpDiv;
+      case OpClass::Load:
+        if (e.forwarded)
+            return 1;
+        return caches_.dataAccess(e.op.effAddr, false, ev_,
+                                  observer_);
+      default:
+        panic("execLatency of invalid op class");
+    }
+}
+
+Cycles
+Pipeline::arbitrateWriteback(Cycles earliest)
+{
+    Cycles c = earliest;
+    for (;;) {
+        const std::size_t slot = c & (wbRingSize - 1);
+        if (wbStamp_[slot] != c) {
+            wbStamp_[slot] = c;
+            wbCount_[slot] = 0;
+        }
+        if (wbCount_[slot] <
+            static_cast<std::uint16_t>(cfg_.rfWrPorts)) {
+            ++wbCount_[slot];
+            return c;
+        }
+        ++c;
+    }
+}
+
+bool
+Pipeline::completeStage()
+{
+    bool progress = false;
+    while (!completions_.empty() &&
+           completions_.top().cycle <= now_) {
+        const Completion c = completions_.top();
+        completions_.pop();
+        if (!rob_.valid(c.robIdx, c.seq))
+            continue;   // squashed in the meantime
+        RobEntry &e = rob_.entry(c.robIdx);
+        if (e.state != OpState::Issued)
+            continue;
+        e.state = OpState::Done;
+        progress = true;
+
+        // Result broadcast: wakeup CAM activity across the IQ.
+        ev_.iqWakeups +=
+            static_cast<std::uint64_t>(iq_.occupancy());
+
+        if (e.op.isLoad()) {
+            lsq_.remove(c.robIdx);
+            e.inLsq = false;
+            if (e.speculative)
+                --lsqSpec_;
+        }
+
+        if (e.op.isBranch()) {
+            --inFlightBranches_;
+            --unresolvedRobBranches_;
+            if (e.mispredicted && !e.wrongPath) {
+                squashAfter(c.robIdx);
+                bpred_.recover(e.histSnapshot, e.op.taken);
+                wrongPathMode_ = false;
+                // The redirect cancels any in-flight wrong-path
+                // fetch stall (e.g. a wrong-path I-cache miss).
+                fetchStallUntil_ = now_ + 1;
+                lastFetchLine_ = invalidAddr;
+            }
+        }
+    }
+    return progress;
+}
+
+void
+Pipeline::squashAfter(std::int32_t branch_idx)
+{
+    const int younger = rob_.occupancy() -
+                        (rob_.distanceFromHead(branch_idx) + 1);
+    int int_dests = 0;
+    int fp_dests = 0;
+    rob_.squashYoungest(younger, [&](RobEntry &e) {
+        ++ev_.squashedOps;
+        if (e.inIq) {
+            ++ev_.iqSquashed;
+            if (e.speculative)
+                --iqSpec_;
+        }
+        if (e.inLsq) {
+            ++ev_.lsqSquashed;
+            if (e.speculative)
+                --lsqSpec_;
+        }
+        if (e.op.destReg != noReg) {
+            if (e.op.writesFp())
+                ++fp_dests;
+            else
+                ++int_dests;
+        }
+        if (e.op.isBranch() && e.state != OpState::Done) {
+            --inFlightBranches_;
+            --unresolvedRobBranches_;
+        }
+    });
+    iq_.removeIf([&](std::int32_t idx) {
+        return rob_.entry(idx).state == OpState::Empty;
+    });
+    lsq_.removeIf([&](std::int32_t idx) {
+        return rob_.entry(idx).state == OpState::Empty;
+    });
+    rfInt_.squash(int_dests);
+    rfFp_.squash(fp_dests);
+
+    // Everything in the front-end queue is younger than the branch.
+    for (const auto &f : frontQ_) {
+        if (f.op.isBranch())
+            --inFlightBranches_;
+    }
+    frontQ_.clear();
+
+    rebuildRenameAndCounts();
+}
+
+void
+Pipeline::rebuildRenameAndCounts()
+{
+    for (auto &p : renameInt_)
+        p = Producer{};
+    for (auto &p : renameFp_)
+        p = Producer{};
+    for (int i = 0; i < rob_.occupancy(); ++i) {
+        const std::int32_t idx = rob_.indexFromHead(i);
+        const RobEntry &e = rob_.entry(idx);
+        if (e.op.destReg != noReg) {
+            Producer &slot = e.op.writesFp() ?
+                renameFp_[e.op.destReg] : renameInt_[e.op.destReg];
+            slot = Producer{idx, e.seq};
+        }
+    }
+}
+
+bool
+Pipeline::commitStage()
+{
+    bool progress = false;
+    int committed = 0;
+    while (committed < cfg_.width && !rob_.empty()) {
+        const std::int32_t idx = rob_.headIndex();
+        RobEntry &e = rob_.entry(idx);
+        if (e.state != OpState::Done || e.doneCycle > now_) {
+            if (committed == 0) {
+                // Attribute the stalled cycle to the head's class.
+                switch (e.op.opClass) {
+                  case OpClass::Load:
+                    ++ev_.stallHeadLoad;
+                    break;
+                  case OpClass::Store:
+                    ++ev_.stallHeadStore;
+                    break;
+                  case OpClass::FpAlu:
+                  case OpClass::FpMul:
+                    ++ev_.stallHeadFp;
+                    break;
+                  case OpClass::FpDiv:
+                  case OpClass::IntDiv:
+                    ++ev_.stallHeadDiv;
+                    break;
+                  default:
+                    ++ev_.stallHeadOther;
+                    break;
+                }
+            }
+            break;
+        }
+        if (e.wrongPath)
+            panic("wrong-path op reached commit");
+
+        if (e.op.isStore()) {
+            // Retire the store data into the cache hierarchy.
+            caches_.dataAccess(e.op.effAddr, true, ev_, observer_);
+            lsq_.remove(idx);
+            e.inLsq = false;
+            if (e.speculative)
+                --lsqSpec_;
+        }
+        if (e.op.destReg != noReg) {
+            if (e.op.writesFp())
+                rfFp_.release();
+            else
+                rfInt_.release();
+        }
+        if (e.op.isBranch()) {
+            ++ev_.bpredUpdates;
+            bpred_.update(e.op.pc, e.op.taken, e.histSnapshot);
+            if (e.op.isCond) {
+                ++ev_.condBranches;
+                if (e.mispredicted)
+                    ++ev_.mispredicts;
+            }
+        }
+        ++ev_.committedOps;
+        ++ev_.robReads;
+        rob_.popHead();
+        ++committed;
+        progress = true;
+    }
+    return progress;
+}
+
+bool
+Pipeline::issueStage()
+{
+    fus_.beginCycle(now_);
+    rdPortsUsed_ = 0;
+    int issued = 0;
+    std::vector<std::size_t> issued_positions;
+
+    const auto &slots = iq_.slots();
+    for (std::size_t pos = 0;
+         pos < slots.size() && issued < cfg_.width; ++pos) {
+        const std::int32_t idx = slots[pos];
+        RobEntry &e = rob_.entry(idx);
+
+        if (!producersReady(e))
+            continue;
+        const int srcs = (e.op.srcReg0 != noReg ? 1 : 0) +
+                         (e.op.srcReg1 != noReg ? 1 : 0);
+        if (rdPortsUsed_ + srcs > cfg_.rfRdPorts)
+            continue;
+        if (!fus_.canIssue(e.op.opClass, now_))
+            continue;
+        if (e.op.isLoad()) {
+            const auto check =
+                lsq_.checkLoad(rob_, idx, ev_.lsqSearches);
+            if (check == LoadStoreQueue::LoadCheck::MustWait)
+                continue;
+            e.forwarded =
+                check == LoadStoreQueue::LoadCheck::Forward;
+        }
+
+        const int lat = execLatency(e);
+        fus_.issue(e.op.opClass, now_, lat);
+        rdPortsUsed_ += srcs;
+        ev_.rfReads += static_cast<std::uint64_t>(srcs);
+        ++ev_.iqIssues;
+
+        switch (e.op.opClass) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+          case OpClass::Nop:
+            ++ev_.aluOps;
+            break;
+          case OpClass::IntMul:
+            ++ev_.mulOps;
+            break;
+          case OpClass::IntDiv:
+            ++ev_.divOps;
+            break;
+          case OpClass::FpAlu:
+            ++ev_.fpOps;
+            break;
+          case OpClass::FpMul:
+            ++ev_.fpMulOps;
+            break;
+          case OpClass::FpDiv:
+            ++ev_.fpDivOps;
+            break;
+          case OpClass::Load:
+          case OpClass::Store:
+            ++ev_.memPortOps;
+            break;
+          default:
+            break;
+        }
+
+        Cycles done = now_ + static_cast<Cycles>(lat);
+        if (e.op.destReg != noReg) {
+            done = arbitrateWriteback(done);
+            ++ev_.rfWrites;
+        }
+        e.state = OpState::Issued;
+        e.doneCycle = done;
+        completions_.push(Completion{done, idx, e.seq});
+
+        e.inIq = false;
+        if (e.speculative)
+            --iqSpec_;
+        issued_positions.push_back(pos);
+        ++issued;
+    }
+    iq_.removeAt(issued_positions);
+    return issued > 0;
+}
+
+bool
+Pipeline::dispatchStage()
+{
+    int dispatched = 0;
+    while (dispatched < cfg_.width && !frontQ_.empty() &&
+           frontQ_.front().dispatchReady <= now_) {
+        const FetchedOp &f = frontQ_.front();
+        const MicroOp &op = f.op;
+
+        // Structural hazards stall dispatch in order.
+        if (rob_.full() || iq_.full())
+            break;
+        if (op.isMem() && lsq_.full())
+            break;
+        if (op.destReg != noReg) {
+            RegisterFile &rf = op.writesFp() ? rfFp_ : rfInt_;
+            if (!rf.canAllocate())
+                break;
+        }
+
+        const std::int32_t idx = rob_.push();
+        RobEntry &e = rob_.entry(idx);
+        const std::uint32_t seq = e.seq;
+        e.op = op;
+        e.wrongPath = f.wrongPath;
+        e.mispredicted = f.mispredicted;
+        e.histSnapshot = f.histSnapshot;
+        e.speculative = unresolvedRobBranches_ > 0;
+        ++ev_.robWrites;
+
+        // Resolve producers through the rename tables.  Register 0 is
+        // the hardwired-zero register and never has a producer.
+        const bool fp_srcs = op.readsFp();
+        auto lookup = [&](std::int16_t reg, std::int32_t &p_idx,
+                          std::uint32_t &p_seq) {
+            if (reg <= 0)
+                return;
+            const Producer &p = fp_srcs ? renameFp_[reg] :
+                                          renameInt_[reg];
+            if (p.idx >= 0 && rob_.valid(p.idx, p.seq)) {
+                p_idx = p.idx;
+                p_seq = p.seq;
+            }
+        };
+        lookup(op.srcReg0, e.prod0, e.prod0Seq);
+        lookup(op.srcReg1, e.prod1, e.prod1Seq);
+
+        if (op.destReg != noReg) {
+            RegisterFile &rf = op.writesFp() ? rfFp_ : rfInt_;
+            rf.allocate();
+            Producer &slot = op.writesFp() ?
+                renameFp_[op.destReg] : renameInt_[op.destReg];
+            slot = Producer{idx, seq};
+        }
+
+        if (op.opClass == OpClass::Nop) {
+            e.state = OpState::Done;
+            e.doneCycle = now_;
+        } else {
+            iq_.insert(idx);
+            e.inIq = true;
+            ++ev_.iqWrites;
+            if (e.speculative)
+                ++iqSpec_;
+            if (op.isMem()) {
+                lsq_.insert(idx);
+                e.inLsq = true;
+                ++ev_.lsqInserts;
+                if (e.speculative)
+                    ++lsqSpec_;
+            }
+            if (op.isBranch())
+                ++unresolvedRobBranches_;
+        }
+
+        frontQ_.pop_front();
+        ++dispatched;
+    }
+    return dispatched > 0;
+}
+
+bool
+Pipeline::fetchStage()
+{
+    if (now_ < fetchStallUntil_)
+        return false;
+
+    int fetched = 0;
+    while (fetched < cfg_.width) {
+        if (frontQ_.size() >= frontQCapacity_)
+            break;
+        if (!wrongPathMode_ && traceIdx_ >= trace_.size())
+            break;
+
+        // Branch cap: correct-path branches stall fetch at the limit;
+        // a wrong-path branch that hits the cap is simply dropped.
+        MicroOp wp_op;
+        const MicroOp *op;
+        if (wrongPathMode_) {
+            wp_op = wrongPathGen_.next();
+            op = &wp_op;
+            if (op->isBranch() &&
+                inFlightBranches_ >= cfg_.maxBranches) {
+                break;
+            }
+        } else {
+            op = &trace_[traceIdx_];
+            if (op->isBranch() &&
+                inFlightBranches_ >= cfg_.maxBranches) {
+                break;
+            }
+        }
+
+        // Instruction cache: one access per new line.
+        int extra_delay = 0;
+        const Addr line = op->pc / CoreConfig::cacheLineBytes;
+        if (line != lastFetchLine_) {
+            const int lat =
+                caches_.fetchAccess(op->pc, ev_, observer_);
+            lastFetchLine_ = line;
+            if (lat > cfg_.icacheLatency) {
+                extra_delay = lat;
+                fetchStallUntil_ = now_ + static_cast<Cycles>(lat);
+            }
+        }
+
+        FetchedOp f;
+        f.op = *op;
+        f.dispatchReady = now_ + cfg_.frontendDelay +
+                          static_cast<Cycles>(extra_delay);
+        f.wrongPath = wrongPathMode_;
+        f.mispredicted = false;
+        f.histSnapshot = 0;
+
+        bool end_group = false;
+        if (op->isBranch()) {
+            const auto pred = bpred_.predict(op->pc);
+            ++ev_.bpredLookups;
+            ++ev_.btbLookups;
+            if (pred.btbHit)
+                ++ev_.btbHits;
+            if (observer_)
+                observer_->onBranchFetch(op->pc, pred.btbHit);
+            ++inFlightBranches_;
+            f.histSnapshot = pred.history;
+
+            if (!wrongPathMode_ && pred.taken != op->taken) {
+                // Misprediction: everything fetched after this is
+                // wrong path until the branch resolves.
+                f.mispredicted = true;
+                wrongPathMode_ = true;
+                wrongPathGen_.startBurst(op->pc);
+            }
+            if (pred.taken) {
+                end_group = true;   // taken break in the fetch group
+                if (!pred.btbHit) {
+                    // Target produced at decode: short bubble.
+                    fetchStallUntil_ = std::max(fetchStallUntil_,
+                                                now_ + 2);
+                }
+            }
+        }
+
+        frontQ_.push_back(f);
+        ++ev_.fetchedOps;
+        if (f.wrongPath)
+            ++ev_.wrongPathOps;
+        if (!f.wrongPath)
+            ++traceIdx_;   // mispredicted branches are correct path
+        ++fetched;
+
+        if (end_group || extra_delay > 0)
+            break;
+    }
+    return fetched > 0;
+}
+
+void
+Pipeline::observeCycle(std::uint64_t repeat)
+{
+    const auto rob_occ =
+        static_cast<std::uint64_t>(rob_.occupancy());
+    const auto iq_occ = static_cast<std::uint64_t>(iq_.occupancy());
+    const auto lsq_occ =
+        static_cast<std::uint64_t>(lsq_.occupancy());
+    ev_.occRobSum += rob_occ * repeat;
+    ev_.occIqSum += iq_occ * repeat;
+    ev_.occLsqSum += lsq_occ * repeat;
+    ev_.occIntRfSum +=
+        static_cast<std::uint64_t>(rfInt_.used()) * repeat;
+    ev_.occFpRfSum +=
+        static_cast<std::uint64_t>(rfFp_.used()) * repeat;
+
+    if (!observer_)
+        return;
+    CycleSample s;
+    s.robOcc = static_cast<std::uint32_t>(rob_occ);
+    s.iqOcc = static_cast<std::uint32_t>(iq_occ);
+    s.lsqOcc = static_cast<std::uint32_t>(lsq_occ);
+    s.intRegsUsed = static_cast<std::uint32_t>(rfInt_.used());
+    s.fpRegsUsed = static_cast<std::uint32_t>(rfFp_.used());
+    s.rdPortsUsed = static_cast<std::uint32_t>(rdPortsUsed_);
+    const std::size_t slot = now_ & (wbRingSize - 1);
+    s.wrPortsUsed = wbStamp_[slot] == now_ ? wbCount_[slot] : 0;
+    s.aluUsed = static_cast<std::uint32_t>(fus_.aluUsed());
+    s.memPortsUsed =
+        static_cast<std::uint32_t>(fus_.memPortsUsed());
+    s.fpUnitsUsed = static_cast<std::uint32_t>(fus_.fpUsed());
+    s.iqSpecOps = static_cast<std::uint32_t>(iqSpec_);
+    s.lsqSpecOps = static_cast<std::uint32_t>(lsqSpec_);
+    observer_->onCycle(s, repeat);
+}
+
+Cycles
+Pipeline::nextEventCycle() const
+{
+    Cycles next = ~Cycles(0);
+    if (!completions_.empty())
+        next = std::min(next, completions_.top().cycle);
+    if (!frontQ_.empty())
+        next = std::min(next, frontQ_.front().dispatchReady);
+    if (fetchStallUntil_ > now_)
+        next = std::min(next, fetchStallUntil_);
+    if (next <= now_ || next == ~Cycles(0))
+        return now_ + 1;
+    return next;
+}
+
+SimResult
+Pipeline::run(std::span<const isa::MicroOp> trace)
+{
+    trace_ = trace;
+    traceIdx_ = 0;
+    now_ = 0;
+
+    const Cycles cycle_cap =
+        500 * static_cast<Cycles>(trace.size()) + 100000;
+
+    for (;;) {
+        if (traceIdx_ >= trace_.size() && rob_.empty() &&
+            frontQ_.empty() && !wrongPathMode_) {
+            break;
+        }
+        const bool c1 = completeStage();
+        const bool c2 = commitStage();
+        const bool c3 = issueStage();
+        const bool c4 = dispatchStage();
+        const bool c5 = fetchStage();
+
+        static const bool trace_cycles =
+            std::getenv("ADAPTSIM_TRACE") != nullptr;
+        if (trace_cycles && now_ < 400) {
+            std::fprintf(stderr,
+                         "cyc%llu cmp=%d com=%d iss=%d dis=%d "
+                         "fet=%d rob=%d iq=%d frontQ=%zu stall=%llu "
+                         "tIdx=%zu\n",
+                         (unsigned long long)now_, c1, c2, c3, c4,
+                         c5, rob_.occupancy(), iq_.occupancy(),
+                         frontQ_.size(),
+                         (unsigned long long)fetchStallUntil_,
+                         traceIdx_);
+        }
+
+        if (c1 || c2 || c3 || c4 || c5) {
+            observeCycle(1);
+            ++ev_.cycles;
+            ++now_;
+        } else {
+            const Cycles next = nextEventCycle();
+            const std::uint64_t span = next - now_;
+            observeCycle(span);
+            ev_.cycles += span;
+            now_ = next;
+        }
+        if (now_ > cycle_cap)
+            panic("pipeline deadlock: exceeded cycle cap at ",
+                  now_, " cycles, ", traceIdx_, "/", trace.size(),
+                  " ops fetched");
+    }
+
+    SimResult result;
+    result.cycles = ev_.cycles;
+    result.events = ev_;
+    return result;
+}
+
+} // namespace adaptsim::uarch

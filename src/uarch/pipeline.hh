@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The out-of-order superscalar pipeline timing model.
+ *
+ * Trace-driven: correct-path µops come from a pre-generated trace;
+ * wrong-path µops are synthesised on branch mispredictions and occupy
+ * resources until the branch resolves.  All fourteen Table I
+ * parameters constrain the model:
+ *
+ *   Width        fetch/dispatch/issue/commit bandwidth + FU counts
+ *   ROB/IQ/LSQ   structural occupancy limits
+ *   RF + ports   rename availability, issue read ports, writeback
+ *   Gshare/BTB   direction/target prediction quality
+ *   Branches     in-flight speculation cap (stalls fetch at limit)
+ *   I/D/L2       hit/miss latencies per access (Cacti-timed)
+ *   Depth        clock frequency, front-end refill, mispredict cost
+ */
+
+#ifndef ADAPTSIM_UARCH_PIPELINE_HH
+#define ADAPTSIM_UARCH_PIPELINE_HH
+
+#include <deque>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache_hierarchy.hh"
+#include "uarch/core_config.hh"
+#include "uarch/events.hh"
+#include "uarch/functional_units.hh"
+#include "uarch/issue_queue.hh"
+#include "uarch/load_store_queue.hh"
+#include "uarch/register_file.hh"
+#include "uarch/rob.hh"
+#include "workload/wrong_path.hh"
+
+namespace adaptsim::uarch
+{
+
+/** Result of one detailed interval simulation. */
+struct SimResult
+{
+    Cycles cycles = 0;
+    EventCounts events;
+};
+
+/** One-shot pipeline simulation of a µop trace. */
+class Pipeline
+{
+  public:
+    /**
+     * @param cfg derived core configuration.
+     * @param caches pre-warmed hierarchy (state is mutated).
+     * @param bpred pre-warmed predictor (state is mutated).
+     * @param wrong_path wrong-path µop source.
+     * @param observer optional profiling observer (may be null).
+     */
+    Pipeline(const CoreConfig &cfg, CacheHierarchy &caches,
+             BranchPredictor &bpred,
+             workload::WrongPathGenerator &wrong_path,
+             SimObserver *observer);
+
+    /** Simulate the full trace to completion; single use. */
+    SimResult run(std::span<const isa::MicroOp> trace);
+
+  private:
+    struct FetchedOp
+    {
+        isa::MicroOp op;
+        Cycles dispatchReady;
+        bool wrongPath;
+        bool mispredicted;
+        std::uint32_t histSnapshot;
+    };
+
+    struct Completion
+    {
+        Cycles cycle;
+        std::int32_t robIdx;
+        std::uint32_t seq;
+
+        bool operator>(const Completion &o) const
+        {
+            return cycle > o.cycle;
+        }
+    };
+
+    // Stage functions; each returns true when it made progress.
+    bool commitStage();
+    bool completeStage();
+    bool issueStage();
+    bool dispatchStage();
+    bool fetchStage();
+
+    void squashAfter(std::int32_t branch_idx);
+    void rebuildRenameAndCounts();
+    int execLatency(RobEntry &e);
+    bool producersReady(const RobEntry &e) const;
+    Cycles arbitrateWriteback(Cycles earliest);
+    void observeCycle(std::uint64_t repeat);
+    Cycles nextEventCycle() const;
+
+    CoreConfig cfg_;
+    CacheHierarchy &caches_;
+    BranchPredictor &bpred_;
+    workload::WrongPathGenerator &wrongPathGen_;
+    SimObserver *observer_;
+
+    Rob rob_;
+    IssueQueue iq_;
+    LoadStoreQueue lsq_;
+    RegisterFile rfInt_;
+    RegisterFile rfFp_;
+    FunctionalUnits fus_;
+
+    struct Producer
+    {
+        std::int32_t idx = -1;
+        std::uint32_t seq = 0;
+    };
+    Producer renameInt_[isa::numArchRegs];
+    Producer renameFp_[isa::numArchRegs];
+
+    std::deque<FetchedOp> frontQ_;
+    std::size_t frontQCapacity_ = 0;
+
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> completions_;
+
+    // Write-back port arbitration ring (cycle-stamped counters).
+    static constexpr std::size_t wbRingSize = 1u << 14;
+    std::vector<Cycles> wbStamp_;
+    std::vector<std::uint16_t> wbCount_;
+
+    std::span<const isa::MicroOp> trace_;
+    std::size_t traceIdx_ = 0;
+
+    Cycles now_ = 0;
+    Cycles fetchStallUntil_ = 0;
+    bool wrongPathMode_ = false;
+    bool skipNextIcacheCheck_ = false;
+    Addr lastFetchLine_ = invalidAddr;
+
+    int inFlightBranches_ = 0;      ///< fetched, not resolved/squashed
+    int unresolvedRobBranches_ = 0; ///< dispatched, not yet Done
+    int iqSpec_ = 0;                ///< speculative ops in the IQ
+    int lsqSpec_ = 0;               ///< speculative ops in the LSQ
+
+    // Per-cycle port usage (reset each cycle, read by the observer).
+    int rdPortsUsed_ = 0;
+    int wrPortsUsedNow_ = 0;
+
+    EventCounts ev_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_PIPELINE_HH

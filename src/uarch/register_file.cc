@@ -1,0 +1,40 @@
+#include "uarch/register_file.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adaptsim::uarch
+{
+
+RegisterFile::RegisterFile(int phys_regs)
+    : physRegs_(phys_regs),
+      renameRegs_(std::max(phys_regs - isa::numArchRegs, 1))
+{
+}
+
+void
+RegisterFile::allocate()
+{
+    if (!canAllocate())
+        panic("RegisterFile::allocate with no free registers");
+    ++inFlight_;
+}
+
+void
+RegisterFile::release()
+{
+    if (inFlight_ <= 0)
+        panic("RegisterFile::release with nothing in flight");
+    --inFlight_;
+}
+
+void
+RegisterFile::squash(int count)
+{
+    if (count > inFlight_)
+        panic("RegisterFile::squash beyond in-flight count");
+    inFlight_ -= count;
+}
+
+} // namespace adaptsim::uarch

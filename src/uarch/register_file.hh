@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Physical register file occupancy model.
+ *
+ * Renaming needs one free physical register per dispatched dest; the
+ * architectural state permanently holds 32.  We track the in-flight
+ * count (allocation/commit/squash) rather than explicit free lists —
+ * trace-driven timing only needs occupancy and availability.
+ */
+
+#ifndef ADAPTSIM_UARCH_REGISTER_FILE_HH
+#define ADAPTSIM_UARCH_REGISTER_FILE_HH
+
+#include "isa/micro_op.hh"
+
+namespace adaptsim::uarch
+{
+
+/** One physical register file (integer or FP). */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(int phys_regs);
+
+    /** True when a destination can be renamed this cycle. */
+    bool canAllocate() const { return inFlight_ < renameRegs_; }
+
+    /** Claim one physical register for an in-flight destination. */
+    void allocate();
+
+    /** Release at commit (the previous mapping is freed). */
+    void release();
+
+    /** Release @p count registers of squashed in-flight producers. */
+    void squash(int count);
+
+    /** Registers currently holding live state (arch + in-flight). */
+    int used() const { return isa::numArchRegs + inFlight_; }
+
+    int inFlight() const { return inFlight_; }
+    int physRegs() const { return physRegs_; }
+
+  private:
+    int physRegs_;
+    int renameRegs_;   ///< physRegs - architectural
+    int inFlight_ = 0;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_REGISTER_FILE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reorder buffer: a ring of in-flight µop state.
+ *
+ * Entries are addressed by slot index; a per-entry sequence number
+ * guards against stale references after squash/recycle.
+ */
+
+#ifndef ADAPTSIM_UARCH_ROB_HH
+#define ADAPTSIM_UARCH_ROB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+
+namespace adaptsim::uarch
+{
+
+/** Lifecycle of a ROB entry. */
+enum class OpState : std::uint8_t
+{
+    Empty,
+    Dispatched,   ///< waiting in IQ (and LSQ if memory)
+    Issued,       ///< executing
+    Done          ///< result available
+};
+
+/** All pipeline-tracked state of one in-flight µop. */
+struct RobEntry
+{
+    isa::MicroOp op;
+    std::uint32_t seq = 0;        ///< recycle guard
+    OpState state = OpState::Empty;
+    bool wrongPath = false;       ///< fetched past a mispredict
+    bool speculative = false;     ///< younger than unresolved branch
+    bool mispredicted = false;    ///< branch predicted wrongly
+    bool inIq = false;
+    bool inLsq = false;
+    bool forwarded = false;       ///< load satisfied by a store
+    std::uint32_t histSnapshot = 0; ///< bpred history before branch
+    Cycles doneCycle = 0;
+    // Producer references for wakeup: ROB slot + its seq at dispatch.
+    std::int32_t prod0 = -1, prod1 = -1;
+    std::uint32_t prod0Seq = 0, prod1Seq = 0;
+};
+
+/** The reorder buffer ring. */
+class Rob
+{
+  public:
+    explicit Rob(int capacity);
+
+    bool full() const { return count_ == capacity_; }
+    bool empty() const { return count_ == 0; }
+    int occupancy() const { return count_; }
+    int capacity() const { return capacity_; }
+
+    /** Slot index of the oldest entry (empty() must be false). */
+    std::int32_t headIndex() const { return head_; }
+
+    /** Entry access by slot index. */
+    RobEntry &entry(std::int32_t idx) { return entries_[idx]; }
+    const RobEntry &entry(std::int32_t idx) const
+    {
+        return entries_[idx];
+    }
+
+    /** Append a new entry at the tail; returns its slot index. */
+    std::int32_t push();
+
+    /** Retire the head entry. */
+    void popHead();
+
+    /**
+     * Squash the @p count youngest entries (from the tail), invoking
+     * @p on_squash for each before the slot is recycled.
+     */
+    template <typename Fn>
+    void
+    squashYoungest(int count, Fn &&on_squash)
+    {
+        for (int i = 0; i < count; ++i) {
+            const std::int32_t idx = tailIndex();
+            on_squash(entries_[idx]);
+            entries_[idx].state = OpState::Empty;
+            ++entries_[idx].seq;
+            --count_;
+        }
+    }
+
+    /** Slot of the youngest entry (empty() must be false). */
+    std::int32_t tailIndex() const
+    {
+        return static_cast<std::int32_t>(
+            (head_ + count_ - 1) % capacity_);
+    }
+
+    /** Slot of the i-th oldest entry, 0-based. */
+    std::int32_t indexFromHead(int i) const
+    {
+        return static_cast<std::int32_t>((head_ + i) % capacity_);
+    }
+
+    /** Age position (0 = oldest) of the entry in slot @p idx. */
+    int distanceFromHead(std::int32_t idx) const
+    {
+        return static_cast<int>((idx - head_ + capacity_) % capacity_);
+    }
+
+    /** True when a (slot, seq) reference is still the same entry. */
+    bool valid(std::int32_t idx, std::uint32_t seq) const
+    {
+        return idx >= 0 && entries_[idx].seq == seq &&
+               entries_[idx].state != OpState::Empty;
+    }
+
+  private:
+    int capacity_;
+    std::int32_t head_ = 0;
+    int count_ = 0;
+    std::vector<RobEntry> entries_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_ROB_HH

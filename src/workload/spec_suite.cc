@@ -1,0 +1,396 @@
+#include "workload/spec_suite.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adaptsim::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t kB = 1024;
+constexpr std::uint64_t mB = 1024 * 1024;
+
+/** Regular strided numeric loop: high ILP when short_dep is low. */
+KernelParams
+streamKernel(const std::string &name, std::uint64_t ws, int stride,
+             double fp_share, double short_dep)
+{
+    KernelParams k;
+    k.name = name;
+    k.fracLoad = 0.28;
+    k.fracStore = 0.12;
+    k.fracFpAlu = fp_share * 0.6;
+    k.fracFpMul = fp_share * 0.4;
+    k.fracIntMul = 0.01;
+    k.shortDepFrac = short_dep;
+    k.numBlocks = 24;
+    k.blockSize = 14;          // long blocks: few, predictable branches
+    k.branchNoise = 0.002;
+    k.hardBranchFrac = 0.02;
+    k.loopBranchFrac = 0.55;   // loopy numeric code
+    k.loopTripCount = 48;
+    k.dataWorkingSet = ws;
+    k.randomAccessFrac = 0.04;
+    k.strideBytes = stride;
+    return k;
+}
+
+/** Pointer-chasing, latency-bound kernel (mcf/ammp style). */
+KernelParams
+chaseKernel(const std::string &name, std::uint64_t ws, double chase_frac,
+            double fp_share = 0.0)
+{
+    KernelParams k;
+    k.name = name;
+    k.fracLoad = 0.34;
+    k.fracStore = 0.08;
+    k.fracFpAlu = fp_share;
+    k.shortDepFrac = 0.65;
+    k.numBlocks = 96;
+    k.blockSize = 7;
+    k.branchNoise = 0.01;
+    k.hardBranchFrac = 0.22;   // data-dependent pointer tests
+    k.loopBranchFrac = 0.30;
+    k.loopTripCount = 6;
+    k.dataWorkingSet = ws;
+    k.randomAccessFrac = 0.55;
+    k.strideBytes = 24;
+    k.pointerChaseFrac = chase_frac;
+    return k;
+}
+
+/**
+ * Control-heavy integer kernel; @p noise sets the share of
+ * data-dependent branches (hardBranchFrac = 1.5x noise).
+ */
+KernelParams
+branchyKernel(const std::string &name, double noise, int blocks,
+              std::uint64_t ws, double short_dep = 0.45)
+{
+    KernelParams k;
+    k.name = name;
+    k.fracLoad = 0.24;
+    k.fracStore = 0.10;
+    k.fracIntMul = 0.02;
+    k.shortDepFrac = short_dep;
+    k.numBlocks = blocks;
+    k.blockSize = 5;           // short blocks: branch every 5 µops
+    k.branchNoise = 0.01;
+    k.hardBranchFrac = std::min(0.45, noise * 1.5);
+    k.loopBranchFrac = 0.35;
+    k.loopTripCount = 4;
+    k.dataWorkingSet = ws;
+    k.randomAccessFrac = 0.30;
+    k.strideBytes = 16;
+    return k;
+}
+
+/** Compute-dominated kernel, small data footprint. */
+KernelParams
+computeKernel(const std::string &name, double fp_share, double short_dep,
+              std::uint64_t ws = 16 * kB, int blocks = 32)
+{
+    KernelParams k;
+    k.name = name;
+    k.fracLoad = 0.14;
+    k.fracStore = 0.05;
+    k.fracFpAlu = fp_share * 0.5;
+    k.fracFpMul = fp_share * 0.35;
+    k.fracFpDiv = fp_share * 0.004;
+    k.fracIntMul = fp_share > 0 ? 0.01 : 0.05;
+    k.shortDepFrac = short_dep;
+    k.numBlocks = blocks;
+    k.blockSize = 12;
+    k.branchNoise = 0.002;
+    k.hardBranchFrac = 0.03;
+    k.loopBranchFrac = 0.50;
+    k.loopTripCount = 32;
+    k.dataWorkingSet = ws;
+    k.randomAccessFrac = 0.05;
+    k.strideBytes = 8;
+    return k;
+}
+
+/** Variant with a large static code footprint (gcc/vortex style). */
+KernelParams
+bigCode(KernelParams k, int blocks)
+{
+    k.numBlocks = blocks;
+    return k;
+}
+
+struct WeightedSegment
+{
+    KernelParams kernel;
+    double weight;
+};
+
+std::vector<Segment>
+scale(const std::vector<WeightedSegment> &parts, std::uint64_t total)
+{
+    double wsum = 0.0;
+    for (const auto &p : parts)
+        wsum += p.weight;
+    if (wsum <= 0.0)
+        panic("segment weights must be positive");
+    std::vector<Segment> segs;
+    segs.reserve(parts.size());
+    for (const auto &p : parts) {
+        const auto len = static_cast<std::uint64_t>(
+            std::llround(p.weight / wsum * double(total)));
+        segs.push_back({p.kernel, std::max<std::uint64_t>(len, 512)});
+    }
+    return segs;
+}
+
+std::vector<WeightedSegment>
+schedule(const std::string &bench)
+{
+    // INT benchmarks ----------------------------------------------------
+    if (bench == "gzip") {
+        auto scan = streamKernel("gzip.scan", 256 * kB, 8, 0.0, 0.35);
+        auto match = branchyKernel("gzip.match", 0.08, 80, 64 * kB);
+        auto huff = computeKernel("gzip.huff", 0.0, 0.55, 32 * kB);
+        return {{scan, 0.25}, {match, 0.30}, {huff, 0.15},
+                {scan, 0.15}, {match, 0.15}};
+    }
+    if (bench == "vpr") {
+        auto place = branchyKernel("vpr.place", 0.12, 160, 512 * kB);
+        auto route = chaseKernel("vpr.route", 1 * mB, 0.25);
+        auto cost = computeKernel("vpr.cost", 0.3, 0.4, 64 * kB);
+        return {{place, 0.35}, {cost, 0.15}, {route, 0.35},
+                {cost, 0.15}};
+    }
+    if (bench == "gcc") {
+        auto parse = bigCode(
+            branchyKernel("gcc.parse", 0.10, 900, 384 * kB), 900);
+        auto opt = bigCode(
+            branchyKernel("gcc.opt", 0.07, 1200, 768 * kB, 0.5), 1200);
+        auto emit = streamKernel("gcc.emit", 128 * kB, 16, 0.0, 0.4);
+        return {{parse, 0.3}, {opt, 0.4}, {emit, 0.15},
+                {parse, 0.15}};
+    }
+    if (bench == "mcf") {
+        auto simplex = chaseKernel("mcf.simplex", 6 * mB, 0.6);
+        auto refresh = streamKernel("mcf.refresh", 4 * mB, 64, 0.0,
+                                    0.5);
+        auto price = chaseKernel("mcf.price", 8 * mB, 0.7);
+        return {{simplex, 0.4}, {refresh, 0.15}, {price, 0.35},
+                {refresh, 0.10}};
+    }
+    if (bench == "crafty") {
+        // Small data set (fits in L1/L2), big code, predictable-ish.
+        auto search = bigCode(
+            branchyKernel("crafty.search", 0.05, 500, 48 * kB, 0.4),
+            500);
+        auto eval = computeKernel("crafty.eval", 0.0, 0.35, 24 * kB,
+                                  200);
+        auto hash = branchyKernel("crafty.hash", 0.03, 120, 96 * kB);
+        return {{search, 0.4}, {eval, 0.3}, {hash, 0.15},
+                {search, 0.15}};
+    }
+    if (bench == "parser") {
+        // Heavily mis-speculated (Fig. 3): very noisy short branches.
+        auto link = branchyKernel("parser.link", 0.22, 300, 192 * kB,
+                                  0.55);
+        auto dict = chaseKernel("parser.dict", 512 * kB, 0.3);
+        auto prune = branchyKernel("parser.prune", 0.16, 140, 96 * kB);
+        return {{link, 0.35}, {dict, 0.25}, {prune, 0.25},
+                {link, 0.15}};
+    }
+    if (bench == "eon") {
+        // Steady single-behaviour program: the best static config is
+        // already near-optimal (paper Sec. VI-B).
+        auto render = computeKernel("eon.render", 0.55, 0.4, 48 * kB,
+                                    96);
+        auto shade = computeKernel("eon.shade", 0.5, 0.42, 64 * kB,
+                                   96);
+        return {{render, 0.55}, {shade, 0.45}};
+    }
+    if (bench == "perlbmk") {
+        auto interp = bigCode(
+            branchyKernel("perl.interp", 0.12, 800, 256 * kB, 0.5),
+            800);
+        auto regex = branchyKernel("perl.regex", 0.18, 220, 128 * kB,
+                                   0.6);
+        auto gc = streamKernel("perl.gc", 512 * kB, 32, 0.0, 0.45);
+        return {{interp, 0.4}, {regex, 0.3}, {gc, 0.15},
+                {interp, 0.15}};
+    }
+    if (bench == "gap") {
+        // Phase-varying working set (Fig. 1 discusses gap's RF needs).
+        auto small = computeKernel("gap.small", 0.0, 0.3, 32 * kB, 64);
+        auto grow = streamKernel("gap.grow", 1 * mB, 16, 0.0, 0.35);
+        auto huge = chaseKernel("gap.huge", 3 * mB, 0.4);
+        return {{small, 0.3}, {grow, 0.25}, {huge, 0.25},
+                {small, 0.2}};
+    }
+    if (bench == "vortex") {
+        // Like parser: significant mis-speculation plus big code.
+        auto tree = bigCode(
+            branchyKernel("vortex.tree", 0.20, 700, 384 * kB, 0.55),
+            700);
+        auto mem = chaseKernel("vortex.mem", 768 * kB, 0.35);
+        auto io = streamKernel("vortex.io", 256 * kB, 16, 0.0, 0.45);
+        return {{tree, 0.4}, {mem, 0.3}, {io, 0.15}, {tree, 0.15}};
+    }
+    if (bench == "bzip2") {
+        auto sort = branchyKernel("bzip2.sort", 0.09, 120, 768 * kB,
+                                  0.5);
+        auto mtf = streamKernel("bzip2.mtf", 384 * kB, 8, 0.0, 0.55);
+        auto huff = computeKernel("bzip2.huff", 0.0, 0.5, 64 * kB);
+        return {{sort, 0.35}, {mtf, 0.3}, {huff, 0.2},
+                {sort, 0.15}};
+    }
+    if (bench == "twolf") {
+        auto anneal = branchyKernel("twolf.anneal", 0.13, 200,
+                                    256 * kB, 0.5);
+        auto move = chaseKernel("twolf.move", 384 * kB, 0.3);
+        return {{anneal, 0.4}, {move, 0.3}, {anneal, 0.3}};
+    }
+
+    // FP benchmarks -----------------------------------------------------
+    if (bench == "wupwise") {
+        auto zgemm = computeKernel("wup.zgemm", 0.8, 0.22, 512 * kB,
+                                   48);
+        auto comm = streamKernel("wup.comm", 1 * mB, 16, 0.7, 0.3);
+        return {{zgemm, 0.55}, {comm, 0.25}, {zgemm, 0.2}};
+    }
+    if (bench == "swim") {
+        // Large strided FP streams; LSQ demand high (Fig. 3: 72).
+        auto calc1 = streamKernel("swim.calc1", 6 * mB, 8, 0.85, 0.2);
+        auto calc2 = streamKernel("swim.calc2", 6 * mB, 16, 0.85,
+                                  0.22);
+        auto shift = streamKernel("swim.shift", 4 * mB, 8, 0.6, 0.3);
+        return {{calc1, 0.4}, {calc2, 0.35}, {shift, 0.25}};
+    }
+    if (bench == "mgrid") {
+        // Medium regular FP; moderate LSQ demand (Fig. 3: 32).
+        auto resid = streamKernel("mgrid.resid", 1 * mB, 8, 0.8, 0.3);
+        auto psinv = streamKernel("mgrid.psinv", 512 * kB, 8, 0.8,
+                                  0.35);
+        auto interp = computeKernel("mgrid.interp", 0.7, 0.3,
+                                    256 * kB);
+        return {{resid, 0.4}, {psinv, 0.3}, {interp, 0.3}};
+    }
+    if (bench == "applu") {
+        // Width-insensitive steady FP (Fig. 1).
+        auto blts = streamKernel("applu.blts", 2 * mB, 8, 0.8, 0.35);
+        auto buts = streamKernel("applu.buts", 2 * mB, 8, 0.8, 0.35);
+        auto rhs = streamKernel("applu.rhs", 1 * mB, 16, 0.7, 0.3);
+        return {{blts, 0.35}, {buts, 0.35}, {rhs, 0.3}};
+    }
+    if (bench == "mesa") {
+        auto raster = streamKernel("mesa.raster", 256 * kB, 8, 0.5,
+                                   0.3);
+        auto xform = computeKernel("mesa.xform", 0.75, 0.25, 64 * kB);
+        auto clip = branchyKernel("mesa.clip", 0.07, 90, 64 * kB);
+        return {{raster, 0.35}, {xform, 0.35}, {clip, 0.3}};
+    }
+    if (bench == "galgel") {
+        // High phase variance: alternating tiny-compute and huge-
+        // stream phases (paper: 4x available, model reaches 2x).
+        auto dense = computeKernel("galgel.dense", 0.85, 0.18,
+                                   32 * kB, 24);
+        auto spread = streamKernel("galgel.spread", 4 * mB, 32, 0.7,
+                                   0.45);
+        auto mixed = chaseKernel("galgel.mixed", 2 * mB, 0.35, 0.4);
+        return {{dense, 0.25}, {spread, 0.25}, {dense, 0.2},
+                {mixed, 0.3}};
+    }
+    if (bench == "art") {
+        // Streaming over a too-big-for-L2 matrix: memory bound.
+        auto match = streamKernel("art.match", 8 * mB, 8, 0.75, 0.25);
+        auto learn = streamKernel("art.learn", 8 * mB, 8, 0.75, 0.3);
+        return {{match, 0.55}, {learn, 0.45}};
+    }
+    if (bench == "equake") {
+        auto smvp = chaseKernel("equake.smvp", 3 * mB, 0.45, 0.6);
+        auto time = computeKernel("equake.time", 0.7, 0.3, 128 * kB);
+        return {{smvp, 0.55}, {time, 0.25}, {smvp, 0.2}};
+    }
+    if (bench == "facerec") {
+        auto gabor = computeKernel("facerec.gabor", 0.8, 0.2,
+                                   256 * kB, 40);
+        auto graph = chaseKernel("facerec.graph", 1 * mB, 0.3, 0.5);
+        return {{gabor, 0.5}, {graph, 0.3}, {gabor, 0.2}};
+    }
+    if (bench == "ammp") {
+        auto nonbon = chaseKernel("ammp.nonbon", 2 * mB, 0.5, 0.6);
+        auto vector = streamKernel("ammp.vector", 1 * mB, 8, 0.7,
+                                   0.3);
+        return {{nonbon, 0.5}, {vector, 0.25}, {nonbon, 0.25}};
+    }
+    if (bench == "lucas") {
+        // Streaming FFT-like passes, steady: static config suffices.
+        auto fft = streamKernel("lucas.fft", 2 * mB, 8, 0.85, 0.28);
+        auto square = streamKernel("lucas.square", 2 * mB, 8, 0.85,
+                                   0.3);
+        return {{fft, 0.55}, {square, 0.45}};
+    }
+    if (bench == "fma3d") {
+        auto elem = computeKernel("fma3d.elem", 0.75, 0.3, 384 * kB,
+                                  160);
+        auto asm_ = streamKernel("fma3d.asm", 1 * mB, 24, 0.6, 0.35);
+        auto contact = branchyKernel("fma3d.contact", 0.10, 140,
+                                     512 * kB);
+        return {{elem, 0.4}, {asm_, 0.3}, {contact, 0.3}};
+    }
+    if (bench == "sixtrack") {
+        auto track = computeKernel("sixtrack.track", 0.9, 0.15,
+                                   64 * kB, 56);
+        auto thin = computeKernel("sixtrack.thin", 0.85, 0.2,
+                                  96 * kB, 56);
+        return {{track, 0.6}, {thin, 0.4}};
+    }
+    if (bench == "apsi") {
+        auto advect = streamKernel("apsi.advect", 1 * mB, 8, 0.75,
+                                   0.3);
+        auto small = computeKernel("apsi.small", 0.7, 0.3, 48 * kB);
+        auto wide = streamKernel("apsi.wide", 3 * mB, 16, 0.7, 0.35);
+        return {{advect, 0.3}, {small, 0.25}, {wide, 0.25},
+                {advect, 0.2}};
+    }
+
+    fatal("unknown benchmark name: ", bench);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specNames()
+{
+    static const std::vector<std::string> names = {
+        // SPECint 2000
+        "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon",
+        "perlbmk", "gap", "vortex", "bzip2", "twolf",
+        // SPECfp 2000
+        "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art",
+        "equake", "facerec", "ammp", "lucas", "fma3d", "sixtrack",
+        "apsi",
+    };
+    return names;
+}
+
+Workload
+specBenchmark(const std::string &name, std::uint64_t program_length,
+              std::uint64_t seed)
+{
+    return Workload(name, scale(schedule(name), program_length),
+                    seed ^ std::hash<std::string>{}(name));
+}
+
+std::vector<Workload>
+specSuite(std::uint64_t program_length, std::uint64_t seed)
+{
+    std::vector<Workload> suite;
+    suite.reserve(specNames().size());
+    for (const auto &name : specNames())
+        suite.push_back(specBenchmark(name, program_length, seed));
+    return suite;
+}
+
+} // namespace adaptsim::workload

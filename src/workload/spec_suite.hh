@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The 26-program synthetic suite standing in for SPEC CPU 2000.
+ *
+ * SPEC 2000 is licensed and unavailable here; each program below is a
+ * synthetic workload whose kernel schedule mimics the published
+ * behaviour class of the benchmark with the same name (memory-bound
+ * mcf/art, regular FP swim/mgrid/applu, control-heavy parser/vortex/
+ * crafty, steady eon/lucas, ...).  See DESIGN.md §1 for the
+ * substitution argument.
+ */
+
+#ifndef ADAPTSIM_WORKLOAD_SPEC_SUITE_HH
+#define ADAPTSIM_WORKLOAD_SPEC_SUITE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace adaptsim::workload
+{
+
+/** Names of the 26 SPEC CPU 2000 benchmarks (INT then FP). */
+const std::vector<std::string> &specNames();
+
+/**
+ * Build the full suite.
+ *
+ * @param program_length total dynamic µops per program (segments are
+ *        scaled to sum to this).
+ * @param seed master seed; the default matches the shipped experiment
+ *        data.
+ */
+std::vector<Workload> specSuite(std::uint64_t program_length,
+                                std::uint64_t seed = 2010);
+
+/** Build a single named benchmark (fatal() on unknown name). */
+Workload specBenchmark(const std::string &name,
+                       std::uint64_t program_length,
+                       std::uint64_t seed = 2010);
+
+} // namespace adaptsim::workload
+
+#endif // ADAPTSIM_WORKLOAD_SPEC_SUITE_HH

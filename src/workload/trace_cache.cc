@@ -1,0 +1,41 @@
+#include "workload/trace_cache.hh"
+
+#include <sstream>
+
+namespace adaptsim::workload
+{
+
+TraceCache::TraceCache(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+TracePtr
+TraceCache::get(const Workload &wl, std::uint64_t start,
+                std::uint64_t count)
+{
+    std::ostringstream key_os;
+    key_os << wl.name() << ':' << start << ':' << count;
+    const std::string key = key_os.str();
+
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->trace;
+    }
+
+    ++misses_;
+    auto trace = std::make_shared<const std::vector<isa::MicroOp>>(
+        wl.generate(start, count));
+    lru_.push_front(Entry{key, trace});
+    map_[key] = lru_.begin();
+
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+    return trace;
+}
+
+} // namespace adaptsim::workload

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * In-memory LRU cache of generated interval traces.
+ *
+ * During training-data gathering each phase's trace is replayed under
+ * O(100) configurations; caching the generated µops makes replay the
+ * only per-configuration cost.
+ */
+
+#ifndef ADAPTSIM_WORKLOAD_TRACE_CACHE_HH
+#define ADAPTSIM_WORKLOAD_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/micro_op.hh"
+#include "workload/workload.hh"
+
+namespace adaptsim::workload
+{
+
+/** A generated interval trace shared between simulations. */
+using TracePtr = std::shared_ptr<const std::vector<isa::MicroOp>>;
+
+/** LRU cache of interval traces keyed by (workload, start, count). */
+class TraceCache
+{
+  public:
+    explicit TraceCache(std::size_t capacity = 48);
+
+    /**
+     * Fetch (generating if needed) the trace of @p count µops of
+     * @p wl starting at absolute position @p start.
+     */
+    TracePtr get(const Workload &wl, std::uint64_t start,
+                 std::uint64_t count);
+
+    std::size_t size() const { return map_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        TracePtr trace;
+    };
+
+    std::size_t capacity_;
+    std::list<Entry> lru_;  ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace adaptsim::workload
+
+#endif // ADAPTSIM_WORKLOAD_TRACE_CACHE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A synthetic program: a schedule of kernels with explicit phase
+ * structure, standing in for one SPEC CPU 2000 benchmark.
+ */
+
+#ifndef ADAPTSIM_WORKLOAD_WORKLOAD_HH
+#define ADAPTSIM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/micro_op.hh"
+#include "workload/kernel.hh"
+
+namespace adaptsim::workload
+{
+
+/** One scheduled stretch of a kernel's execution. */
+struct Segment
+{
+    KernelParams kernel;       ///< behaviour during the segment
+    std::uint64_t length;      ///< dynamic µops in the segment
+};
+
+/**
+ * A deterministic synthetic program.
+ *
+ * Each distinct kernel name within the program denotes one piece of
+ * static code: every occurrence replays the same layout and stream, so
+ * repeated segments yield genuinely recurring phases (as loops do in
+ * real programs).
+ */
+class Workload
+{
+  public:
+    /**
+     * @param name program name (SPEC-2000 style).
+     * @param segments the phase schedule; total length is their sum.
+     * @param seed master seed for all kernel streams.
+     */
+    Workload(std::string name, std::vector<Segment> segments,
+             std::uint64_t seed);
+
+    const std::string &name() const { return name_; }
+
+    /** Total dynamic µop count of the program. */
+    std::uint64_t totalInstructions() const { return totalLength_; }
+
+    /** Number of schedule segments. */
+    std::size_t numSegments() const { return segments_.size(); }
+
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    /**
+     * Generate @p count µops starting at absolute dynamic position
+     * @p start (positions past the end wrap around the schedule).
+     */
+    std::vector<isa::MicroOp> generate(std::uint64_t start,
+                                       std::uint64_t count) const;
+
+    /**
+     * Length-weighted average of the kernel parameters; used to drive
+     * the wrong-path generator with a plausible instruction mix.
+     */
+    KernelParams averageParams() const;
+
+    /** Master seed (exposed so wrong-path streams can derive). */
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    /** Stable kernel identity: index of first segment with the name. */
+    std::uint32_t kernelIdOf(std::size_t segment_index) const;
+
+    std::string name_;
+    std::vector<Segment> segments_;
+    std::vector<std::uint64_t> segmentStart_; ///< cumulative offsets
+    std::uint64_t totalLength_;
+    std::uint64_t seed_;
+};
+
+} // namespace adaptsim::workload
+
+#endif // ADAPTSIM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,101 @@
+#include "workload/wrong_path.hh"
+
+namespace adaptsim::workload
+{
+
+using isa::MicroOp;
+using isa::OpClass;
+
+WrongPathGenerator::WrongPathGenerator(const KernelParams &mix,
+                                       std::uint64_t seed)
+    : mix_(mix), seed_(seed), rng_(seed)
+{
+}
+
+void
+WrongPathGenerator::startBurst(Addr branch_pc)
+{
+    // Re-seed from the branch PC: the same mispredicted branch always
+    // yields the same wrong path, which keeps replay deterministic.
+    rng_ = Rng(seed_ ^ (branch_pc * 0x9e3779b97f4a7c15ULL));
+    pc_ = branch_pc + 4;
+    sinceBranch_ = 0;
+}
+
+MicroOp
+WrongPathGenerator::next()
+{
+    MicroOp op;
+    op.pc = pc_;
+    pc_ += 4;
+    op.bbId = 0xffff0000u; // wrong-path marker block
+
+    // Branch roughly once per average block.
+    const int block = std::max(3, mix_.blockSize);
+    if (++sinceBranch_ >= block) {
+        sinceBranch_ = 0;
+        op.opClass = OpClass::Branch;
+        op.isCond = true;
+        op.srcReg0 = static_cast<std::int16_t>(
+            1 + rng_.nextBounded(isa::numArchRegs - 1));
+        op.taken = rng_.nextBool(0.5);
+        op.target = op.taken ?
+            op.pc + 4 * (4 + rng_.nextBounded(64)) : op.pc + 4;
+        if (op.taken)
+            pc_ = op.target;
+        return op;
+    }
+
+    const double roll = rng_.nextDouble();
+    double acc = mix_.fracLoad;
+    auto int_reg = [&]() {
+        intReg_ = intReg_ % (isa::numArchRegs - 1) + 1;
+        return static_cast<std::int16_t>(intReg_);
+    };
+    auto fp_reg = [&]() {
+        fpReg_ = fpReg_ % (isa::numArchRegs - 1) + 1;
+        return static_cast<std::int16_t>(fpReg_);
+    };
+
+    if (roll < acc) {
+        op.opClass = OpClass::Load;
+        op.srcReg0 = int_reg();
+        op.destReg = int_reg();
+        // Wrong-path loads touch the program's own working set (the
+        // not-taken side of a branch still works on the same data),
+        // occasionally straying outside and polluting the caches.
+        const std::uint64_t ws =
+            std::max<std::uint64_t>(mix_.dataWorkingSet, 4096);
+        const Addr base = rng_.nextBool(0.98) ? 0x1000'0000ULL :
+                                               0x1800'0000ULL;
+        op.effAddr = base + (rng_.nextBounded(ws) & ~Addr(7));
+        return op;
+    }
+    acc += mix_.fracStore;
+    if (roll < acc) {
+        op.opClass = OpClass::Store;
+        op.srcReg0 = int_reg();
+        op.srcReg1 = int_reg();
+        const std::uint64_t ws =
+            std::max<std::uint64_t>(mix_.dataWorkingSet, 4096);
+        op.effAddr = 0x1000'0000ULL + (rng_.nextBounded(ws) & ~Addr(7));
+        return op;
+    }
+    acc += mix_.fracFpAlu + mix_.fracFpMul + mix_.fracFpDiv;
+    if (roll < acc) {
+        op.opClass = rng_.nextBool(0.6) ? OpClass::FpAlu :
+                                          OpClass::FpMul;
+        op.srcReg0 = fp_reg();
+        op.srcReg1 = fp_reg();
+        op.destReg = fp_reg();
+        return op;
+    }
+    op.opClass = rng_.nextBool(0.05) ? OpClass::IntMul :
+                                       OpClass::IntAlu;
+    op.srcReg0 = int_reg();
+    op.srcReg1 = int_reg();
+    op.destReg = int_reg();
+    return op;
+}
+
+} // namespace adaptsim::workload

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic wrong-path µop generation.
+ *
+ * When the pipeline mispredicts a branch it keeps fetching down the
+ * wrong path until the branch resolves.  Real wrong-path instructions
+ * are unavailable in a trace-driven simulator, so we synthesise µops
+ * with the workload's average instruction mix.  They occupy the ROB,
+ * IQ, LSQ and register files, consume ports, and access the caches —
+ * exactly the effects the paper's speculative/mis-speculated counters
+ * measure (Fig. 3).
+ */
+
+#ifndef ADAPTSIM_WORKLOAD_WRONG_PATH_HH
+#define ADAPTSIM_WORKLOAD_WRONG_PATH_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+#include "workload/kernel.hh"
+
+namespace adaptsim::workload
+{
+
+/** Generator of plausible wrong-path µops for one workload. */
+class WrongPathGenerator
+{
+  public:
+    /**
+     * @param mix length-weighted average kernel parameters of the
+     *        workload (Workload::averageParams()).
+     * @param seed deterministic seed.
+     */
+    WrongPathGenerator(const KernelParams &mix, std::uint64_t seed);
+
+    /**
+     * Begin a wrong-path burst at the not-taken/wrong target of the
+     * mispredicted branch at @p branch_pc.  Deterministic per PC so a
+     * given branch always produces the same wrong path.
+     */
+    void startBurst(Addr branch_pc);
+
+    /** Next wrong-path µop of the current burst. */
+    isa::MicroOp next();
+
+  private:
+    KernelParams mix_;
+    std::uint64_t seed_;
+    Rng rng_;
+    Addr pc_ = 0;
+    int sinceBranch_ = 0;
+    int intReg_ = 1;
+    int fpReg_ = 1;
+};
+
+} // namespace adaptsim::workload
+
+#endif // ADAPTSIM_WORKLOAD_WRONG_PATH_HH

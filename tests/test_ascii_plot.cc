@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Smoke tests of the ASCII plotting helpers (shape, not pixels).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/ascii_plot.hh"
+
+using namespace adaptsim;
+
+TEST(BarChart, ContainsLabelsAndValues)
+{
+    const auto out = barChart("title", {{"aa", 1.0}, {"bb", 2.0}});
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("aa"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(BarChart, LongestBarIsFullWidth)
+{
+    const auto out =
+        barChart("", {{"x", 1.0}, {"y", 4.0}}, 20);
+    EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZero)
+{
+    EXPECT_NO_THROW({
+        auto s = barChart("t", {{"z", 0.0}});
+        (void)s;
+    });
+}
+
+TEST(GroupedBarChart, AllSeriesShown)
+{
+    const auto out = groupedBarChart("g", {"s1", "s2"}, {"l1"},
+                                     {{1.0, 2.0}});
+    EXPECT_NE(out.find("s1"), std::string::npos);
+    EXPECT_NE(out.find("s2"), std::string::npos);
+    EXPECT_NE(out.find("l1"), std::string::npos);
+}
+
+TEST(LinePlot, RendersSeries)
+{
+    const std::vector<double> xs = {0, 1, 2, 3};
+    const auto out = linePlot("lp", xs, {"a", "b"},
+                              {{1, 2, 3, 4}, {4, 3, 2, 1}}, 40, 8);
+    EXPECT_NE(out.find("lp"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LinePlot, EmptyInputSafe)
+{
+    EXPECT_NO_THROW({
+        auto s = linePlot("x", {}, {}, {});
+        (void)s;
+    });
+}
+
+TEST(ViolinLine, ReportsQuartiles)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(double(i));
+    const auto out = violinLine("lbl", v);
+    EXPECT_NE(out.find("lbl"), std::string::npos);
+    EXPECT_NE(out.find("min=1.00"), std::string::npos);
+    EXPECT_NE(out.find("max=100.00"), std::string::npos);
+    EXPECT_NE(out.find("med="), std::string::npos);
+}
+
+TEST(ViolinLine, EmptySafe)
+{
+    const auto out = violinLine("lbl", {});
+    EXPECT_NE(out.find("no data"), std::string::npos);
+}

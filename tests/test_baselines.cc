@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests of the static/dynamic baseline selection on synthetic data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/baselines.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::harness;
+
+namespace
+{
+
+/** Two candidate configurations with controlled efficiencies. */
+struct Fixture
+{
+    space::Configuration a, b;
+    std::vector<GatheredPhase> phases;
+
+    Fixture()
+    {
+        b.setValue(space::Param::Width, 8);
+        // Phase 0: a=4, b=1.  Phase 1: a=2, b=3.
+        phases.resize(2);
+        for (std::size_t i = 0; i < 2; ++i) {
+            phases[i].phase.workload = "x";
+            phases[i].phase.index = i;
+            phases[i].phase.weight = 0.5;
+        }
+        phases[0].evals = {{a, 4.0}, {b, 1.0}};
+        phases[1].evals = {{a, 2.0}, {b, 3.0}};
+    }
+};
+
+} // namespace
+
+TEST(Baselines, EfficiencyOnFindsSampledConfig)
+{
+    Fixture f;
+    EXPECT_DOUBLE_EQ(efficiencyOn(f.phases[0], f.a), 4.0);
+    EXPECT_DOUBLE_EQ(efficiencyOn(f.phases[1], f.b), 3.0);
+}
+
+TEST(Baselines, EfficiencyOnUnsampledIsFatal)
+{
+    Fixture f;
+    space::Configuration other;
+    other.setValue(space::Param::Depth, 36);
+    EXPECT_EXIT((void)efficiencyOn(f.phases[0], other),
+                ::testing::ExitedWithCode(1), "not evaluated");
+}
+
+TEST(Baselines, MeanEfficiencyIsWeightedGeomean)
+{
+    Fixture f;
+    // a: sqrt(4*2) = 2.83; b: sqrt(1*3) = 1.73.
+    EXPECT_NEAR(meanEfficiencyOf(f.phases, f.a), 2.8284, 1e-3);
+    EXPECT_NEAR(meanEfficiencyOf(f.phases, f.b), 1.7320, 1e-3);
+}
+
+TEST(Baselines, BestStaticPicksHighestGeomean)
+{
+    Fixture f;
+    const auto best = bestStaticConfig(f.phases, {f.a, f.b});
+    EXPECT_EQ(best, f.a);
+}
+
+TEST(Baselines, WeightsMatter)
+{
+    Fixture f;
+    // Give phase 1 overwhelming weight: b (3.0 there) should win.
+    f.phases[0].phase.weight = 0.01;
+    f.phases[1].phase.weight = 0.99;
+    const auto best = bestStaticConfig(f.phases, {f.a, f.b});
+    EXPECT_EQ(best, f.b);
+}
+
+TEST(Baselines, BestDynamicPerPhase)
+{
+    Fixture f;
+    EXPECT_EQ(bestDynamic(f.phases[0]).config, f.a);
+    EXPECT_EQ(bestDynamic(f.phases[1]).config, f.b);
+    EXPECT_DOUBLE_EQ(bestDynamic(f.phases[1]).efficiency, 3.0);
+}
+
+TEST(Baselines, SpecialisedStaticEqualsBestStaticOnSubset)
+{
+    Fixture f;
+    const std::vector<GatheredPhase> only_first = {f.phases[0]};
+    const auto best =
+        bestStaticForProgram(only_first, {f.a, f.b});
+    EXPECT_EQ(best, f.a);
+}
+
+TEST(Baselines, EmptyCandidatesIsFatal)
+{
+    Fixture f;
+    EXPECT_EXIT((void)bestStaticConfig(f.phases, {}),
+                ::testing::ExitedWithCode(1), "");
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests of basic-block vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phase/bbv.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+using adaptsim::phase::Bbv;
+
+TEST(Bbv, NormalisedSumsToOne)
+{
+    const auto wl = workload::specBenchmark("gzip", 50000);
+    const auto trace = wl.generate(0, 2000);
+    const auto bbv = Bbv::ofTrace(trace);
+    double sum = 0.0;
+    for (double v : bbv.values())
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(bbv.opCount(), 2000u);
+}
+
+TEST(Bbv, SelfDistanceZero)
+{
+    const auto wl = workload::specBenchmark("gzip", 50000);
+    const auto bbv =
+        Bbv::ofTrace(wl.generate(0, 2000));
+    EXPECT_NEAR(bbv.manhattan(bbv), 0.0, 1e-12);
+}
+
+TEST(Bbv, DistanceSymmetricAndBounded)
+{
+    const auto wl = workload::specBenchmark("vpr", 100000);
+    const auto a = Bbv::ofTrace(wl.generate(0, 2000));
+    const auto b = Bbv::ofTrace(wl.generate(60000, 2000));
+    EXPECT_NEAR(a.manhattan(b), b.manhattan(a), 1e-12);
+    EXPECT_GE(a.manhattan(b), 0.0);
+    EXPECT_LE(a.manhattan(b), 2.0);
+}
+
+TEST(Bbv, SameKernelIsClose)
+{
+    const auto wl = workload::specBenchmark("swim", 200000);
+    // Two nearby windows inside the same segment.
+    const auto a = Bbv::ofTrace(wl.generate(10000, 2000));
+    const auto b = Bbv::ofTrace(wl.generate(14000, 2000));
+    EXPECT_LT(a.manhattan(b), 0.3);
+}
+
+TEST(Bbv, DifferentKernelsAreFar)
+{
+    const auto wl = workload::specBenchmark("gap", 400000);
+    // gap schedules very different kernels (compute vs chase).
+    const auto a = Bbv::ofTrace(wl.generate(10000, 3000));
+    const auto b = Bbv::ofTrace(wl.generate(250000, 3000));
+    EXPECT_GT(a.manhattan(b), 0.8);
+}
+
+TEST(Bbv, EmptyTraceIsAllZero)
+{
+    Bbv bbv;
+    bbv.normalise();
+    for (double v : bbv.values())
+        EXPECT_EQ(v, 0.0);
+}

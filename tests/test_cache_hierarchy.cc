@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the three-level hierarchy's latencies and event counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/gather.hh"
+#include "uarch/cache_hierarchy.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::uarch;
+
+namespace
+{
+
+CoreConfig
+baseConfig()
+{
+    return CoreConfig::fromConfiguration(
+        harness::paperBaselineConfig());
+}
+
+} // namespace
+
+TEST(CacheHierarchy, LatencyOrdering)
+{
+    const auto cfg = baseConfig();
+    CacheHierarchy h(cfg);
+    EventCounts ev;
+
+    const int miss_all = h.dataAccess(0x10000, false, ev, nullptr);
+    const int hit_l1 = h.dataAccess(0x10000, false, ev, nullptr);
+    EXPECT_EQ(hit_l1, cfg.dcacheLatency);
+    EXPECT_GE(miss_all,
+              cfg.dcacheLatency + cfg.l2Latency + cfg.memLatency);
+    EXPECT_GT(miss_all, hit_l1);
+}
+
+TEST(CacheHierarchy, L2HitLatencyBetweenL1AndMemory)
+{
+    const auto cfg = baseConfig();
+    CacheHierarchy h(cfg);
+    EventCounts ev;
+    // Fill L1+L2, then evict from L1 only by sweeping > L1 capacity.
+    h.dataAccess(0x0, false, ev, nullptr);
+    for (Addr a = 1 << 20; a < (1 << 20) + 2 * cfg.dcacheBytes;
+         a += 64) {
+        h.dataAccess(a, false, ev, nullptr);
+    }
+    const int l2_hit = h.dataAccess(0x0, false, ev, nullptr);
+    EXPECT_EQ(l2_hit, cfg.dcacheLatency + cfg.l2Latency);
+}
+
+TEST(CacheHierarchy, EventCounting)
+{
+    const auto cfg = baseConfig();
+    CacheHierarchy h(cfg);
+    EventCounts ev;
+    h.dataAccess(0x40, false, ev, nullptr);   // L1 miss, L2 miss
+    h.dataAccess(0x40, false, ev, nullptr);   // L1 hit
+    EXPECT_EQ(ev.dcAccesses, 2u);
+    EXPECT_EQ(ev.dcMisses, 1u);
+    EXPECT_EQ(ev.l2Accesses, 1u);
+    EXPECT_EQ(ev.l2Misses, 1u);
+    EXPECT_EQ(ev.memAccesses, 1u);
+}
+
+TEST(CacheHierarchy, FetchPathCountsSeparately)
+{
+    const auto cfg = baseConfig();
+    CacheHierarchy h(cfg);
+    EventCounts ev;
+    h.fetchAccess(0x400000, ev, nullptr);
+    h.fetchAccess(0x400000, ev, nullptr);
+    EXPECT_EQ(ev.icAccesses, 2u);
+    EXPECT_EQ(ev.icMisses, 1u);
+    EXPECT_EQ(ev.dcAccesses, 0u);
+}
+
+TEST(CacheHierarchy, WarmPrefillsWithoutEvents)
+{
+    const auto cfg = baseConfig();
+    CacheHierarchy h(cfg);
+    h.warmData(0x80, false);
+    h.warmFetch(0x400080);
+    EventCounts ev;
+    EXPECT_EQ(h.dataAccess(0x80, false, ev, nullptr),
+              cfg.dcacheLatency);
+    EXPECT_EQ(h.fetchAccess(0x400080, ev, nullptr),
+              cfg.icacheLatency);
+    EXPECT_EQ(ev.dcMisses, 0u);
+    EXPECT_EQ(ev.icMisses, 0u);
+}
+
+TEST(CacheHierarchy, ObserverSeesAccesses)
+{
+    struct Probe : SimObserver
+    {
+        int dc = 0, ic = 0, l2 = 0;
+        void onDCacheAccess(Addr, bool) override { ++dc; }
+        void onICacheAccess(Addr) override { ++ic; }
+        void onL2Access(Addr) override { ++l2; }
+    } probe;
+
+    const auto cfg = baseConfig();
+    CacheHierarchy h(cfg);
+    EventCounts ev;
+    h.dataAccess(0x100, false, ev, &probe);   // miss → L2 access
+    h.dataAccess(0x100, false, ev, &probe);   // hit
+    h.fetchAccess(0x400100, ev, &probe);
+    EXPECT_EQ(probe.dc, 2);
+    EXPECT_EQ(probe.l2, 2);   // data miss + fetch miss
+    EXPECT_EQ(probe.ic, 1);
+}

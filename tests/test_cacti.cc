@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Property tests of the Cacti-style technology model: the experiments
+ * rely on relative scaling, so we check monotonicity and plausible
+ * magnitudes rather than absolute numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti.hh"
+
+using namespace adaptsim::power;
+
+TEST(Cacti, AccessTimeGrowsWithSize)
+{
+    double prev = 0.0;
+    for (std::uint64_t kb = 8; kb <= 4096; kb *= 2) {
+        const double t = sramAccessTimeNs(kb * 1024, 2);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Cacti, AccessTimePlausibleRange)
+{
+    EXPECT_GT(sramAccessTimeNs(8 * 1024, 2), 0.2);
+    EXPECT_LT(sramAccessTimeNs(8 * 1024, 2), 1.0);
+    EXPECT_GT(sramAccessTimeNs(4 * 1024 * 1024, 8), 1.5);
+    EXPECT_LT(sramAccessTimeNs(4 * 1024 * 1024, 8), 10.0);
+}
+
+TEST(Cacti, AccessEnergyGrowsWithSizeAndAssoc)
+{
+    EXPECT_GT(sramAccessEnergyNj(64 * 1024, 2),
+              sramAccessEnergyNj(8 * 1024, 2));
+    EXPECT_GT(sramAccessEnergyNj(64 * 1024, 8),
+              sramAccessEnergyNj(64 * 1024, 2));
+}
+
+TEST(Cacti, LeakageLinearInSize)
+{
+    const double l1 = sramLeakageW(1024 * 1024);
+    const double l2 = sramLeakageW(2 * 1024 * 1024);
+    EXPECT_NEAR(l2 / l1, 2.0, 1e-9);
+}
+
+TEST(Cacti, RfEnergyGrowsWithPortsSuperlinearly)
+{
+    const double few = rfAccessEnergyNj(128, 4, 2);
+    const double many = rfAccessEnergyNj(128, 16, 8);
+    // 4x the ports must cost clearly more than 2x the energy.
+    EXPECT_GT(many, 2.0 * few);
+}
+
+TEST(Cacti, RfEnergyGrowsWithEntries)
+{
+    EXPECT_GT(rfAccessEnergyNj(160, 4, 2),
+              rfAccessEnergyNj(40, 4, 2));
+}
+
+TEST(Cacti, RfLeakageGrowsWithEntriesAndPorts)
+{
+    EXPECT_GT(rfLeakageW(160, 4, 2), rfLeakageW(40, 4, 2));
+    EXPECT_GT(rfLeakageW(160, 16, 8), rfLeakageW(160, 2, 1));
+}
+
+TEST(Cacti, ArrayEnergyCheaperThanSameSizeCache)
+{
+    const std::uint64_t bytes = 160 * 16;
+    EXPECT_LT(arrayAccessEnergyNj(160, 16),
+              sramAccessEnergyNj(bytes, 1));
+}
+
+TEST(Cacti, CamSearchLinearInEntries)
+{
+    const double one = camSearchEnergyNj(1);
+    EXPECT_NEAR(camSearchEnergyNj(80), 80.0 * one, 1e-12);
+}
+
+/** Property sweep over every Table I cache size. */
+class CactiSizeSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CactiSizeSweep, AllOutputsFiniteAndPositive)
+{
+    const auto bytes = GetParam();
+    EXPECT_GT(sramAccessTimeNs(bytes, 2), 0.0);
+    EXPECT_GT(sramAccessEnergyNj(bytes, 2), 0.0);
+    EXPECT_GT(sramLeakageW(bytes), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOne, CactiSizeSweep,
+                         ::testing::Values(8192, 16384, 32768, 65536,
+                                           131072, 262144, 524288,
+                                           1048576, 2097152,
+                                           4194304));

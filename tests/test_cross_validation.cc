@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests of leave-one-program-out cross-validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/cross_validation.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::ml;
+using space::Param;
+
+namespace
+{
+
+/** Phases for named programs; program determines the good IQ size. */
+std::vector<PhaseData>
+programPhases()
+{
+    const auto &ds = space::DesignSpace::the();
+    Rng rng(13);
+    std::vector<PhaseData> phases;
+    const char *programs[] = {"alpha", "beta", "gamma", "delta"};
+    for (int prog = 0; prog < 4; ++prog) {
+        for (int i = 0; i < 6; ++i) {
+            PhaseData ph;
+            ph.workload = programs[prog];
+            ph.phaseIndex = i;
+            ph.weight = 1.0 / 6.0;
+            const bool big = prog % 2 == 1;
+            ph.features = {big ? 1.0 : 0.0, 1.0};
+            const double target = big ? 8.0 : 1.0;
+            for (int s = 0; s < 20; ++s) {
+                space::Configuration cfg;
+                for (auto p : space::allParams()) {
+                    cfg.setIndex(p, std::uint8_t(rng.nextBounded(
+                        ds.numValues(p))));
+                }
+                const double d = std::abs(
+                    double(cfg.index(Param::IqSize)) - target);
+                ph.evals.push_back(
+                    ConfigEval{cfg, 10.0 / (1.0 + d * d)});
+            }
+            phases.push_back(std::move(ph));
+        }
+    }
+    return phases;
+}
+
+} // namespace
+
+TEST(CrossValidation, PredictsForEveryPhaseInOrder)
+{
+    const auto phases = programPhases();
+    const auto predictions = leaveOneProgramOut(phases, {});
+    ASSERT_EQ(predictions.size(), phases.size());
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+        EXPECT_EQ(predictions[i].phaseIdx, i);
+}
+
+TEST(CrossValidation, GeneralisesAcrossPrograms)
+{
+    // Because two programs of each type exist, the held-out program
+    // is still predictable from the others.
+    const auto phases = programPhases();
+    const auto predictions = leaveOneProgramOut(phases, {});
+    // Average predicted IQ index per type.
+    double small_sum = 0.0, big_sum = 0.0;
+    int small_n = 0, big_n = 0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const auto idx =
+            predictions[i].predicted.index(Param::IqSize);
+        if (phases[i].features[0] > 0.5) {
+            big_sum += idx;
+            ++big_n;
+        } else {
+            small_sum += idx;
+            ++small_n;
+        }
+    }
+    EXPECT_GT(big_sum / big_n, small_sum / small_n + 2.0);
+}
+
+TEST(CrossValidation, Deterministic)
+{
+    const auto phases = programPhases();
+    const auto a = leaveOneProgramOut(phases, {});
+    const auto b = leaveOneProgramOut(phases, {});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].predicted, b[i].predicted);
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests of the environment-variable knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+
+using namespace adaptsim;
+
+TEST(Env, DoubleFallback)
+{
+    unsetenv("ADAPTSIM_TEST_D");
+    EXPECT_EQ(envDouble("ADAPTSIM_TEST_D", 2.5), 2.5);
+    setenv("ADAPTSIM_TEST_D", "1.25", 1);
+    EXPECT_EQ(envDouble("ADAPTSIM_TEST_D", 2.5), 1.25);
+    setenv("ADAPTSIM_TEST_D", "garbage", 1);
+    EXPECT_EQ(envDouble("ADAPTSIM_TEST_D", 2.5), 2.5);
+    unsetenv("ADAPTSIM_TEST_D");
+}
+
+TEST(Env, LongFallback)
+{
+    unsetenv("ADAPTSIM_TEST_L");
+    EXPECT_EQ(envLong("ADAPTSIM_TEST_L", 7), 7);
+    setenv("ADAPTSIM_TEST_L", "42", 1);
+    EXPECT_EQ(envLong("ADAPTSIM_TEST_L", 7), 42);
+    unsetenv("ADAPTSIM_TEST_L");
+}
+
+TEST(Env, StringFallback)
+{
+    unsetenv("ADAPTSIM_TEST_S");
+    EXPECT_EQ(envString("ADAPTSIM_TEST_S", "dflt"), "dflt");
+    setenv("ADAPTSIM_TEST_S", "custom", 1);
+    EXPECT_EQ(envString("ADAPTSIM_TEST_S", "dflt"), "custom");
+    unsetenv("ADAPTSIM_TEST_S");
+}
+
+TEST(Env, ScaleRejectsNonPositive)
+{
+    setenv("ADAPTSIM_SCALE", "-3", 1);
+    EXPECT_EQ(experimentScale(), 1.0);
+    setenv("ADAPTSIM_SCALE", "0.5", 1);
+    EXPECT_EQ(experimentScale(), 0.5);
+    unsetenv("ADAPTSIM_SCALE");
+}
+
+TEST(Env, ThreadsPositive)
+{
+    unsetenv("ADAPTSIM_THREADS");
+    EXPECT_GE(numThreads(), 1u);
+    setenv("ADAPTSIM_THREADS", "3", 1);
+    EXPECT_EQ(numThreads(), 3u);
+    unsetenv("ADAPTSIM_THREADS");
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Miniature full-stack experiment test: suite → phases → gather →
+ * baseline → LOOCV model results, all at a tiny scale with a
+ * temporary cache directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/experiment.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::harness;
+
+namespace
+{
+
+ExperimentOptions
+tinyOptions(const std::string &dir)
+{
+    ExperimentOptions opt;
+    opt.programLength = 24000;
+    opt.intervalLength = 1200;
+    opt.warmLength = 1200;
+    opt.phasesPerProgram = 2;
+    opt.gather.sharedRandomConfigs = 6;
+    opt.gather.localNeighbours = 2;
+    opt.gather.oneAtATimeSweep = false;
+    opt.trainer.cg.maxIterations = 30;
+    opt.dataDir = dir;
+    opt.threads = 0;
+    return opt;
+}
+
+} // namespace
+
+TEST(Experiment, EndToEndTinyScale)
+{
+    const std::string dir = "/tmp/adaptsim_experiment_test";
+    std::filesystem::remove_all(dir);
+
+    {
+        Experiment exp(tinyOptions(dir));
+        const auto &phases = exp.phases();
+        // 26 programs × up to 2 phases.
+        EXPECT_GE(phases.size(), 26u);
+        EXPECT_LE(phases.size(), 52u);
+
+        // Baseline must be a member of the shared pool.
+        const auto &baseline = exp.baselineConfig();
+        bool in_pool = false;
+        for (const auto &cfg : exp.sharedPool())
+            in_pool = in_pool || cfg == baseline;
+        EXPECT_TRUE(in_pool);
+
+        // Every phase can price the baseline.
+        for (std::size_t i = 0; i < phases.size(); ++i)
+            EXPECT_GT(exp.baselineEfficiency(i), 0.0);
+
+        // Program grouping covers all phases exactly once.
+        std::size_t grouped = 0;
+        for (const auto &[name, idxs] : exp.phasesByProgram())
+            grouped += idxs.size();
+        EXPECT_EQ(grouped, phases.size());
+
+        // LOOCV model results exist for every phase and are
+        // positive.
+        const auto &results =
+            exp.modelResults(counters::FeatureSet::Basic);
+        ASSERT_EQ(results.size(), phases.size());
+        for (const auto &r : results)
+            EXPECT_GT(r.efficiency, 0.0);
+
+        // Relative efficiency of the baseline itself is exactly 1.
+        const auto &first_prog =
+            exp.phasesByProgram().begin()->second;
+        const double rel = exp.relativeEfficiency(
+            first_prog, [&](std::size_t i) {
+                return exp.baselineEfficiency(i);
+            });
+        EXPECT_NEAR(rel, 1.0, 1e-9);
+    }
+
+    // A second Experiment over the same directory reuses everything.
+    {
+        Experiment exp(tinyOptions(dir));
+        exp.phases();
+        EXPECT_EQ(exp.repository().simulationsRun(), 0u);
+    }
+
+    std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of feature-vector assembly for both counter sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "counters/feature_vector.hh"
+#include "uarch/core.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::counters;
+
+namespace
+{
+
+CounterBank
+someBank()
+{
+    const auto wl = workload::specBenchmark("vpr", 100000);
+    workload::WrongPathGenerator wp(wl.averageParams(),
+                                    wl.seed() ^ 0x57a71cULL);
+    const auto cc = uarch::CoreConfig::fromConfiguration(
+        space::Configuration::profiling());
+    uarch::Core core(cc, wp);
+    core.warm(wl.generate(30000, 6000));
+    CounterBank bank(cc);
+    const auto r = core.run(wl.generate(36000, 3000), &bank);
+    bank.finalise(r.events);
+    return bank;
+}
+
+} // namespace
+
+TEST(FeatureVector, DimensionsMatchDeclared)
+{
+    const auto bank = someBank();
+    const auto adv = assembleFeatures(bank, FeatureSet::Advanced);
+    const auto bas = assembleFeatures(bank, FeatureSet::Basic);
+    EXPECT_EQ(adv.size(), featureDimension(FeatureSet::Advanced));
+    EXPECT_EQ(bas.size(), featureDimension(FeatureSet::Basic));
+    EXPECT_GT(adv.size(), 10 * bas.size());   // histograms >> scalars
+}
+
+TEST(FeatureVector, ValuesAreBounded)
+{
+    const auto bank = someBank();
+    for (auto set : {FeatureSet::Advanced, FeatureSet::Basic}) {
+        for (double v : assembleFeatures(bank, set)) {
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 16.0);   // O(1) magnitudes by design
+        }
+    }
+}
+
+TEST(FeatureVector, EndsWithBiasTerm)
+{
+    const auto bank = someBank();
+    EXPECT_EQ(assembleFeatures(bank, FeatureSet::Advanced).back(),
+              1.0);
+    EXPECT_EQ(assembleFeatures(bank, FeatureSet::Basic).back(),
+              1.0);
+}
+
+TEST(FeatureVector, GroupsTileTheVector)
+{
+    for (auto set : {FeatureSet::Advanced, FeatureSet::Basic}) {
+        const auto &groups = featureGroups(set);
+        ASSERT_FALSE(groups.empty());
+        std::size_t expect_begin = 0;
+        for (const auto &g : groups) {
+            EXPECT_EQ(g.begin, expect_begin) << g.name;
+            EXPECT_GT(g.end, g.begin) << g.name;
+            expect_begin = g.end;
+        }
+        EXPECT_EQ(expect_begin, featureDimension(set));
+    }
+}
+
+TEST(FeatureVector, AdvancedContainsPaperGroups)
+{
+    std::set<std::string> names;
+    for (const auto &g : featureGroups(FeatureSet::Advanced))
+        names.insert(g.name);
+    // The Table II counter families.
+    for (const char *required :
+         {"alu_usage", "memport_usage", "iq_usage", "lsq_usage",
+          "speculation", "int_reg_usage", "rd_port_usage",
+          "dc_stack", "dc_block_reuse", "dc_set_reuse",
+          "dc_red_set_reuse", "btb_reuse", "mispred_rate", "cpi",
+          "bias"}) {
+        EXPECT_TRUE(names.count(required)) << required;
+    }
+}
+
+TEST(FeatureVector, SetNames)
+{
+    EXPECT_STREQ(featureSetName(FeatureSet::Advanced), "advanced");
+    EXPECT_STREQ(featureSetName(FeatureSet::Basic), "basic");
+}
+
+TEST(FeatureVector, DistinctWorkloadsGetDistinctFeatures)
+{
+    const auto a = someBank();
+    const auto wl = workload::specBenchmark("mcf", 100000);
+    workload::WrongPathGenerator wp(wl.averageParams(),
+                                    wl.seed() ^ 0x57a71cULL);
+    const auto cc = uarch::CoreConfig::fromConfiguration(
+        space::Configuration::profiling());
+    uarch::Core core(cc, wp);
+    core.warm(wl.generate(30000, 6000));
+    CounterBank b(cc);
+    const auto r = core.run(wl.generate(36000, 3000), &b);
+    b.finalise(r.events);
+
+    const auto xa = assembleFeatures(a, FeatureSet::Advanced);
+    const auto xb = assembleFeatures(b, FeatureSet::Advanced);
+    double dist = 0.0;
+    for (std::size_t i = 0; i < xa.size(); ++i)
+        dist += std::abs(xa[i] - xb[i]);
+    EXPECT_GT(dist, 0.5);
+}

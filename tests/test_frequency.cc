@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests of the FO4-depth frequency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/frequency.hh"
+
+using namespace adaptsim::power;
+
+TEST(Frequency, PeriodIncludesLatchOverhead)
+{
+    EXPECT_NEAR(clockPeriodSeconds(9),
+                (9.0 + latchOverheadFo4) * fo4DelaySeconds, 1e-18);
+}
+
+TEST(Frequency, FrequencyInverseOfPeriod)
+{
+    for (int d = 9; d <= 36; d += 3) {
+        EXPECT_NEAR(clockFrequencyHz(d) * clockPeriodSeconds(d),
+                    1.0, 1e-12);
+    }
+}
+
+TEST(Frequency, PlausibleGhzRange)
+{
+    EXPECT_GT(clockFrequencyHz(9), 3.0e9);    // deep pipeline
+    EXPECT_LT(clockFrequencyHz(9), 5.0e9);
+    EXPECT_GT(clockFrequencyHz(36), 0.8e9);   // shallow pipeline
+    EXPECT_LT(clockFrequencyHz(36), 1.5e9);
+}
+
+TEST(Frequency, StagesDecreaseWithDepth)
+{
+    int prev = 1 << 20;
+    for (int d = 9; d <= 36; d += 3) {
+        const int stages = pipelineStages(d);
+        EXPECT_LE(stages, prev);
+        prev = stages;
+    }
+    EXPECT_GE(pipelineStages(36), 5);
+    EXPECT_GE(pipelineStages(9), 20);   // deep design is deep
+}
+
+TEST(Frequency, FrontendAboutHalf)
+{
+    for (int d = 9; d <= 36; d += 3) {
+        const int fe = frontendStages(d);
+        EXPECT_GE(fe, 2);
+        EXPECT_LE(fe, pipelineStages(d));
+        EXPECT_NEAR(double(fe) / pipelineStages(d), 0.5, 0.15);
+    }
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests of per-cycle functional-unit arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/gather.hh"
+#include "uarch/functional_units.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::uarch;
+using isa::OpClass;
+
+namespace
+{
+
+CoreConfig
+widthConfig(int width)
+{
+    auto cfg = harness::paperBaselineConfig();
+    cfg.setValue(space::Param::Width, width);
+    return CoreConfig::fromConfiguration(cfg);
+}
+
+} // namespace
+
+TEST(FunctionalUnits, AluCapacityEqualsWidth)
+{
+    const auto cfg = widthConfig(4);
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(0);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(fus.canIssue(OpClass::IntAlu, 0));
+        fus.issue(OpClass::IntAlu, 0, 1);
+    }
+    EXPECT_FALSE(fus.canIssue(OpClass::IntAlu, 0));
+    EXPECT_EQ(fus.aluUsed(), 4);
+}
+
+TEST(FunctionalUnits, CapacityResetsEachCycle)
+{
+    const auto cfg = widthConfig(2);
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(0);
+    fus.issue(OpClass::IntAlu, 0, 1);
+    fus.issue(OpClass::IntAlu, 0, 1);
+    EXPECT_FALSE(fus.canIssue(OpClass::IntAlu, 0));
+    fus.beginCycle(1);
+    EXPECT_TRUE(fus.canIssue(OpClass::IntAlu, 1));
+}
+
+TEST(FunctionalUnits, MemPortsScaleWithWidth)
+{
+    FunctionalUnits narrow(widthConfig(2));
+    narrow.beginCycle(0);
+    narrow.issue(OpClass::Load, 0, 2);
+    EXPECT_FALSE(narrow.canIssue(OpClass::Store, 0));
+
+    FunctionalUnits wide(widthConfig(8));
+    wide.beginCycle(0);
+    for (int i = 0; i < 4; ++i)
+        wide.issue(OpClass::Load, 0, 2);
+    EXPECT_FALSE(wide.canIssue(OpClass::Load, 0));
+}
+
+TEST(FunctionalUnits, UnpipelinedDivideBlocks)
+{
+    const auto cfg = widthConfig(4);
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(0);
+    ASSERT_TRUE(fus.canIssue(OpClass::IntDiv, 0));
+    fus.issue(OpClass::IntDiv, 0, cfg.latIntDiv);
+    fus.beginCycle(1);
+    EXPECT_FALSE(fus.canIssue(OpClass::IntDiv, 1));
+    fus.beginCycle(cfg.latIntDiv);
+    EXPECT_TRUE(fus.canIssue(OpClass::IntDiv, cfg.latIntDiv));
+}
+
+TEST(FunctionalUnits, FpDivIndependentOfIntDiv)
+{
+    const auto cfg = widthConfig(4);
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(0);
+    fus.issue(OpClass::IntDiv, 0, cfg.latIntDiv);
+    fus.beginCycle(1);
+    EXPECT_TRUE(fus.canIssue(OpClass::FpDiv, 1));
+}
+
+TEST(FunctionalUnits, BranchesShareAlus)
+{
+    const auto cfg = widthConfig(2);
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(0);
+    fus.issue(OpClass::Branch, 0, 1);
+    fus.issue(OpClass::IntAlu, 0, 1);
+    EXPECT_FALSE(fus.canIssue(OpClass::Branch, 0));
+}

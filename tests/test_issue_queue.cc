@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests of the age-ordered issue queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/issue_queue.hh"
+
+using adaptsim::uarch::IssueQueue;
+
+TEST(IssueQueue, InsertKeepsAgeOrder)
+{
+    IssueQueue iq(8);
+    iq.insert(5);
+    iq.insert(2);
+    iq.insert(9);
+    ASSERT_EQ(iq.occupancy(), 3);
+    EXPECT_EQ(iq.slots()[0], 5);
+    EXPECT_EQ(iq.slots()[1], 2);
+    EXPECT_EQ(iq.slots()[2], 9);
+}
+
+TEST(IssueQueue, FullDetection)
+{
+    IssueQueue iq(2);
+    iq.insert(1);
+    EXPECT_FALSE(iq.full());
+    iq.insert(2);
+    EXPECT_TRUE(iq.full());
+}
+
+TEST(IssueQueue, RemoveAtPreservesRemainder)
+{
+    IssueQueue iq(8);
+    for (int i = 0; i < 6; ++i)
+        iq.insert(i * 10);
+    iq.removeAt({1, 3, 4});
+    ASSERT_EQ(iq.occupancy(), 3);
+    EXPECT_EQ(iq.slots()[0], 0);
+    EXPECT_EQ(iq.slots()[1], 20);
+    EXPECT_EQ(iq.slots()[2], 50);
+}
+
+TEST(IssueQueue, RemoveAtEmptyListIsNoop)
+{
+    IssueQueue iq(4);
+    iq.insert(7);
+    iq.removeAt({});
+    EXPECT_EQ(iq.occupancy(), 1);
+}
+
+TEST(IssueQueue, RemoveIfFilters)
+{
+    IssueQueue iq(8);
+    for (int i = 0; i < 6; ++i)
+        iq.insert(i);
+    iq.removeIf([](std::int32_t idx) { return idx % 2 == 0; });
+    ASSERT_EQ(iq.occupancy(), 3);
+    EXPECT_EQ(iq.slots()[0], 1);
+    EXPECT_EQ(iq.slots()[2], 5);
+}
+
+TEST(IssueQueue, RejectsTinyCapacity)
+{
+    EXPECT_EXIT((IssueQueue{1}), ::testing::ExitedWithCode(1), "");
+}

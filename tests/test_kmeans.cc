@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests of the deterministic k-means implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "phase/kmeans.hh"
+
+using namespace adaptsim;
+using adaptsim::phase::kmeans;
+
+namespace
+{
+
+/** Three well-separated 2D blobs. */
+std::vector<std::vector<double>>
+threeBlobs(Rng &rng, std::size_t per_blob)
+{
+    const double centres[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    std::vector<std::vector<double>> points;
+    for (int b = 0; b < 3; ++b) {
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            points.push_back({centres[b][0] + rng.nextGaussian() * 0.3,
+                              centres[b][1] + rng.nextGaussian() * 0.3});
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+TEST(KMeans, RecoversSeparatedClusters)
+{
+    Rng rng(5);
+    const auto points = threeBlobs(rng, 30);
+    Rng krng(1);
+    const auto result = kmeans(points, 3, krng);
+
+    ASSERT_EQ(result.centroids.size(), 3u);
+    // All points of a blob share one cluster id.
+    for (int b = 0; b < 3; ++b) {
+        const std::size_t c = result.assignment[b * 30];
+        for (int i = 0; i < 30; ++i)
+            EXPECT_EQ(result.assignment[b * 30 + i], c);
+    }
+    // Cluster sizes are 30/30/30.
+    for (auto size : result.clusterSizes)
+        EXPECT_EQ(size, 30u);
+    EXPECT_LT(result.inertia, 50.0);
+}
+
+TEST(KMeans, Deterministic)
+{
+    Rng rng(5);
+    const auto points = threeBlobs(rng, 20);
+    Rng a(7), b(7);
+    const auto ra = kmeans(points, 3, a);
+    const auto rb = kmeans(points, 3, b);
+    EXPECT_EQ(ra.assignment, rb.assignment);
+    EXPECT_EQ(ra.inertia, rb.inertia);
+}
+
+TEST(KMeans, KClampedToPointCount)
+{
+    std::vector<std::vector<double>> points = {{1.0}, {2.0}};
+    Rng rng(3);
+    const auto result = kmeans(points, 10, rng);
+    EXPECT_LE(result.centroids.size(), 2u);
+    EXPECT_EQ(result.assignment.size(), 2u);
+}
+
+TEST(KMeans, DuplicatePointsCollapse)
+{
+    std::vector<std::vector<double>> points(20, {3.0, 4.0});
+    Rng rng(9);
+    const auto result = kmeans(points, 5, rng);
+    // All identical points: at most one effective centroid matters;
+    // inertia must be ~0.
+    EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, EmptyInput)
+{
+    Rng rng(1);
+    const auto result = kmeans({}, 3, rng);
+    EXPECT_TRUE(result.assignment.empty());
+    EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeans, SingleCluster)
+{
+    Rng rng(5);
+    const auto points = threeBlobs(rng, 10);
+    Rng krng(2);
+    const auto result = kmeans(points, 1, krng);
+    EXPECT_EQ(result.centroids.size(), 1u);
+    EXPECT_EQ(result.clusterSizes[0], points.size());
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters)
+{
+    Rng rng(11);
+    const auto points = threeBlobs(rng, 25);
+    Rng r1(3), r3(3);
+    const auto k1 = kmeans(points, 1, r1);
+    const auto k3 = kmeans(points, 3, r3);
+    EXPECT_LT(k3.inertia, k1.inertia * 0.2);
+}

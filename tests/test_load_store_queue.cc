@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the LSQ, including store→load forwarding decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/load_store_queue.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::uarch;
+using isa::OpClass;
+
+namespace
+{
+
+/** Build a ROB holding a given sequence of memory ops. */
+struct LsqFixture
+{
+    Rob rob{16};
+    LoadStoreQueue lsq{8};
+
+    std::int32_t
+    addOp(OpClass cls, Addr addr, OpState state)
+    {
+        const auto idx = rob.push();
+        auto &e = rob.entry(idx);
+        e.op.opClass = cls;
+        e.op.effAddr = addr;
+        e.state = state;
+        lsq.insert(idx);
+        return idx;
+    }
+};
+
+} // namespace
+
+TEST(LoadStoreQueue, NoConflictWithoutMatchingStore)
+{
+    LsqFixture f;
+    f.addOp(OpClass::Store, 0x1000, OpState::Done);
+    const auto load = f.addOp(OpClass::Load, 0x2000,
+                              OpState::Dispatched);
+    std::uint64_t searched = 0;
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, load, searched),
+              LoadStoreQueue::LoadCheck::NoConflict);
+    EXPECT_EQ(searched, 1u);
+}
+
+TEST(LoadStoreQueue, ForwardFromCompletedStore)
+{
+    LsqFixture f;
+    f.addOp(OpClass::Store, 0x1000, OpState::Done);
+    const auto load = f.addOp(OpClass::Load, 0x1000,
+                              OpState::Dispatched);
+    std::uint64_t searched = 0;
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, load, searched),
+              LoadStoreQueue::LoadCheck::Forward);
+}
+
+TEST(LoadStoreQueue, WaitForPendingStore)
+{
+    LsqFixture f;
+    f.addOp(OpClass::Store, 0x1000, OpState::Dispatched);
+    const auto load = f.addOp(OpClass::Load, 0x1000,
+                              OpState::Dispatched);
+    std::uint64_t searched = 0;
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, load, searched),
+              LoadStoreQueue::LoadCheck::MustWait);
+}
+
+TEST(LoadStoreQueue, YoungestOlderMatchWins)
+{
+    LsqFixture f;
+    f.addOp(OpClass::Store, 0x1000, OpState::Done);
+    f.addOp(OpClass::Store, 0x1000, OpState::Dispatched);
+    const auto load = f.addOp(OpClass::Load, 0x1000,
+                              OpState::Dispatched);
+    std::uint64_t searched = 0;
+    // The younger (pending) store is the forwarding source → wait.
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, load, searched),
+              LoadStoreQueue::LoadCheck::MustWait);
+}
+
+TEST(LoadStoreQueue, YoungerStoresIgnored)
+{
+    LsqFixture f;
+    const auto load = f.addOp(OpClass::Load, 0x1000,
+                              OpState::Dispatched);
+    f.addOp(OpClass::Store, 0x1000, OpState::Dispatched);
+    std::uint64_t searched = 0;
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, load, searched),
+              LoadStoreQueue::LoadCheck::NoConflict);
+    EXPECT_EQ(searched, 0u);   // scan stops at the load itself
+}
+
+TEST(LoadStoreQueue, WordGranularityMatching)
+{
+    LsqFixture f;
+    f.addOp(OpClass::Store, 0x1000, OpState::Done);
+    // Same 8-byte word.
+    const auto l1 = f.addOp(OpClass::Load, 0x1004,
+                            OpState::Dispatched);
+    std::uint64_t searched = 0;
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, l1, searched),
+              LoadStoreQueue::LoadCheck::Forward);
+    // Different word.
+    const auto l2 = f.addOp(OpClass::Load, 0x1008,
+                            OpState::Dispatched);
+    EXPECT_EQ(f.lsq.checkLoad(f.rob, l2, searched),
+              LoadStoreQueue::LoadCheck::NoConflict);
+}
+
+TEST(LoadStoreQueue, RemoveSpecificEntry)
+{
+    LsqFixture f;
+    const auto a = f.addOp(OpClass::Load, 0x10, OpState::Done);
+    const auto b = f.addOp(OpClass::Store, 0x20,
+                           OpState::Dispatched);
+    f.lsq.remove(a);
+    ASSERT_EQ(f.lsq.occupancy(), 1);
+    EXPECT_EQ(f.lsq.slots()[0], b);
+}
+
+TEST(LoadStoreQueue, RemoveIf)
+{
+    LsqFixture f;
+    f.addOp(OpClass::Load, 0x10, OpState::Done);
+    f.addOp(OpClass::Store, 0x20, OpState::Dispatched);
+    f.lsq.removeIf([&](std::int32_t idx) {
+        return f.rob.entry(idx).op.isLoad();
+    });
+    EXPECT_EQ(f.lsq.occupancy(), 1);
+}
+
+TEST(LoadStoreQueue, FullDetection)
+{
+    LsqFixture f;
+    for (int i = 0; i < 8; ++i)
+        f.addOp(OpClass::Load, 0x100 + 8 * i, OpState::Dispatched);
+    EXPECT_TRUE(f.lsq.full());
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests of the ips³/W efficiency metric computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/gather.hh"
+#include "power/metrics.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::power;
+
+TEST(Metrics, EfficiencyFormula)
+{
+    EXPECT_DOUBLE_EQ(efficiencyOf(2.0, 4.0), 2.0);
+    EXPECT_DOUBLE_EQ(efficiencyOf(10.0, 1.0), 1000.0);
+    EXPECT_EQ(efficiencyOf(5.0, 0.0), 0.0);
+}
+
+TEST(Metrics, ComputeFromEvents)
+{
+    const auto cc = uarch::CoreConfig::fromConfiguration(
+        harness::paperBaselineConfig());
+    uarch::EventCounts ev;
+    ev.cycles = 20000;
+    ev.committedOps = 10000;
+    ev.aluOps = 8000;
+    ev.dcAccesses = 2500;
+
+    const auto m = computeMetrics(cc, ev);
+    EXPECT_NEAR(m.ipc, 0.5, 1e-12);
+    EXPECT_NEAR(m.seconds, 20000.0 * cc.clockPeriodSec, 1e-18);
+    EXPECT_NEAR(m.ips, m.instructions / m.seconds, 1e-3);
+    EXPECT_NEAR(m.watts, m.joules / m.seconds, 1e-9);
+    EXPECT_NEAR(m.efficiency,
+                m.ips * m.ips * m.ips / m.watts,
+                m.efficiency * 1e-9);
+}
+
+TEST(Metrics, EmptyRunIsZero)
+{
+    const auto cc = uarch::CoreConfig::fromConfiguration(
+        harness::paperBaselineConfig());
+    const auto m = computeMetrics(cc, uarch::EventCounts{});
+    EXPECT_EQ(m.ipc, 0.0);
+    EXPECT_EQ(m.ips, 0.0);
+    EXPECT_EQ(m.efficiency, 0.0);
+}
+
+TEST(Metrics, FasterSameEnergyIsBetter)
+{
+    const auto cc = uarch::CoreConfig::fromConfiguration(
+        harness::paperBaselineConfig());
+    uarch::EventCounts slow;
+    slow.cycles = 20000;
+    slow.committedOps = 10000;
+    uarch::EventCounts fast = slow;
+    fast.cycles = 10000;
+    const auto ms = computeMetrics(cc, slow);
+    const auto mf = computeMetrics(cc, fast);
+    EXPECT_GT(mf.efficiency, ms.efficiency);
+}

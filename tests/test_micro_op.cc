@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests of the µop record and op-class helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/micro_op.hh"
+
+using namespace adaptsim::isa;
+
+TEST(OpClass, MemPredicate)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_FALSE(isMemOp(OpClass::Branch));
+}
+
+TEST(OpClass, FpPredicate)
+{
+    EXPECT_TRUE(isFpOp(OpClass::FpAlu));
+    EXPECT_TRUE(isFpOp(OpClass::FpMul));
+    EXPECT_TRUE(isFpOp(OpClass::FpDiv));
+    EXPECT_FALSE(isFpOp(OpClass::Load));
+    EXPECT_FALSE(isFpOp(OpClass::IntMul));
+}
+
+TEST(OpClass, NamesDistinct)
+{
+    EXPECT_STRNE(opClassName(OpClass::IntAlu),
+                 opClassName(OpClass::FpAlu));
+    EXPECT_STREQ(opClassName(OpClass::Load), "Load");
+}
+
+TEST(MicroOp, FlagHelpers)
+{
+    MicroOp op;
+    op.opClass = OpClass::Load;
+    EXPECT_TRUE(op.isMem());
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_FALSE(op.isBranch());
+
+    op.opClass = OpClass::Branch;
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_FALSE(op.isMem());
+}
+
+TEST(MicroOp, FpDestination)
+{
+    MicroOp op;
+    op.opClass = OpClass::FpMul;
+    op.destReg = 3;
+    EXPECT_TRUE(op.writesFp());
+    EXPECT_TRUE(op.readsFp());
+
+    op.opClass = OpClass::Load;
+    op.fpData = true;
+    EXPECT_TRUE(op.writesFp());   // FP load
+    EXPECT_FALSE(op.readsFp());   // address is integer
+
+    op.fpData = false;
+    EXPECT_FALSE(op.writesFp());
+
+    op.destReg = noReg;
+    op.opClass = OpClass::FpAlu;
+    EXPECT_FALSE(op.writesFp());  // no destination at all
+}
+
+TEST(MicroOp, ToStringMentionsFields)
+{
+    MicroOp op;
+    op.pc = 0x1000;
+    op.opClass = OpClass::Branch;
+    op.isCond = true;
+    op.taken = true;
+    op.target = 0x2000;
+    const auto s = op.toString();
+    EXPECT_NE(s.find("Branch"), std::string::npos);
+    EXPECT_NE(s.find("taken"), std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+}

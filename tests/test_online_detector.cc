@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests of the online phase-change detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phase/online_detector.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::phase;
+
+namespace
+{
+
+Bbv
+bbvAt(const workload::Workload &wl, std::uint64_t start)
+{
+    return Bbv::ofTrace(wl.generate(start, 3000));
+}
+
+} // namespace
+
+TEST(OnlineDetector, FirstIntervalIsNewPhase)
+{
+    const auto wl = workload::specBenchmark("gzip", 100000);
+    OnlinePhaseDetector det;
+    const auto obs = det.observe(bbvAt(wl, 0));
+    EXPECT_TRUE(obs.newPhase);
+    EXPECT_TRUE(obs.phaseChanged);
+    EXPECT_EQ(obs.phaseId, 0u);
+}
+
+TEST(OnlineDetector, StableBehaviourIsStablePhase)
+{
+    const auto wl = workload::specBenchmark("swim", 400000);
+    OnlinePhaseDetector det;
+    det.observe(bbvAt(wl, 0));
+    // Consecutive windows inside the same long segment.
+    for (int i = 1; i < 8; ++i) {
+        const auto obs = det.observe(bbvAt(wl, i * 3000));
+        EXPECT_FALSE(obs.newPhase) << i;
+    }
+    EXPECT_EQ(det.numPhases(), 1u);
+}
+
+TEST(OnlineDetector, DetectsKernelSwitch)
+{
+    // gap: compute kernel early, pointer-chase kernel later.
+    const auto wl = workload::specBenchmark("gap", 400000);
+    OnlinePhaseDetector det;
+    det.observe(bbvAt(wl, 10000));
+    const auto obs = det.observe(bbvAt(wl, 250000));
+    EXPECT_TRUE(obs.newPhase);
+    EXPECT_TRUE(obs.phaseChanged);
+}
+
+TEST(OnlineDetector, RecurringPhaseRecognised)
+{
+    const auto wl = workload::specBenchmark("gap", 400000);
+    OnlinePhaseDetector det;
+    const auto first = det.observe(bbvAt(wl, 10000));
+    det.observe(bbvAt(wl, 250000));            // different phase
+    const auto back = det.observe(bbvAt(wl, 14000));   // same as first
+    EXPECT_FALSE(back.newPhase);
+    EXPECT_EQ(back.phaseId, first.phaseId);
+    EXPECT_TRUE(back.phaseChanged);   // changed relative to previous
+}
+
+TEST(OnlineDetector, TableCapacityFallsBackToNearest)
+{
+    OnlinePhaseDetector det(0.0001, 2);   // tiny threshold, 2 slots
+    const auto wl = workload::specBenchmark("gcc", 400000);
+    det.observe(bbvAt(wl, 0));
+    det.observe(bbvAt(wl, 150000));
+    // A third distinct behaviour cannot allocate: must reuse.
+    const auto obs = det.observe(bbvAt(wl, 300000));
+    EXPECT_FALSE(obs.newPhase);
+    EXPECT_LT(obs.phaseId, 2u);
+    EXPECT_EQ(det.numPhases(), 2u);
+}
+
+TEST(OnlineDetector, PhaseChangeRateIsModerate)
+{
+    // Over a whole program the controller should not thrash: the
+    // paper reconfigures about once every 10 intervals.
+    const auto wl = workload::specBenchmark("bzip2", 400000);
+    OnlinePhaseDetector det;
+    std::size_t changes = 0;
+    const std::uint64_t interval = 5000;
+    const std::uint64_t n = wl.totalInstructions() / interval;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto obs = det.observe(
+            Bbv::ofTrace(wl.generate(i * interval, interval)));
+        changes += obs.phaseChanged;
+    }
+    EXPECT_LT(double(changes) / double(n), 0.5);
+    EXPECT_GE(changes, 2u);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests of the counter-monitoring energy overhead model (Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "counters/overhead_model.hh"
+
+using namespace adaptsim::counters;
+
+namespace
+{
+
+constexpr std::uint64_t l1Bytes = 128 * 1024;
+constexpr std::uint64_t l2Bytes = 4 * 1024 * 1024;
+constexpr int line = 64;
+
+} // namespace
+
+TEST(OverheadModel, SamplingReducesDynamicOverhead)
+{
+    const auto full = blockReuseOverhead(l1Bytes, 2, line, 0);
+    const auto sampled = blockReuseOverhead(l1Bytes, 2, line, 16);
+    EXPECT_LT(sampled.dynamicPct, full.dynamicPct);
+    EXPECT_LT(sampled.leakagePct, full.leakagePct);
+}
+
+TEST(OverheadModel, SampledOverheadsAreSmall)
+{
+    // With Table IV sampling the paper reports ≤1.6% dynamic and
+    // ≤1.4% leakage.  Our model must land in single digits.
+    const auto dc_blk = blockReuseOverhead(l1Bytes, 2, line, 128);
+    EXPECT_LT(dc_blk.dynamicPct, 8.0);
+    EXPECT_LT(dc_blk.leakagePct, 8.0);
+    EXPECT_GT(dc_blk.dynamicPct, 0.0);
+
+    const auto l2_set = setReuseOverhead(l2Bytes, 8, line, 16);
+    EXPECT_LT(l2_set.dynamicPct, 2.0);
+    EXPECT_LT(l2_set.leakagePct, 1.0);
+}
+
+TEST(OverheadModel, BlockMonitoringCostsMoreThanSetMonitoring)
+{
+    // Block reuse stores per-way timestamps; set reuse one counter
+    // per set.
+    const auto blk = blockReuseOverhead(l1Bytes, 2, line, 64);
+    const auto set = setReuseOverhead(l1Bytes, 2, line, 64);
+    EXPECT_GT(blk.leakagePct, set.leakagePct);
+}
+
+TEST(OverheadModel, OversizedSampleCountClamps)
+{
+    // Requesting more sets than exist behaves like full monitoring.
+    const auto a = setReuseOverhead(l1Bytes, 2, line, 0);
+    const auto b = setReuseOverhead(l1Bytes, 2, line, 1u << 20);
+    EXPECT_DOUBLE_EQ(a.dynamicPct, b.dynamicPct);
+}
+
+TEST(OverheadModel, LargerCachesAmortiseLeakageBetter)
+{
+    // The same 16 sampled sets are relatively cheaper against a
+    // bigger cache's leakage.
+    const auto small = blockReuseOverhead(8 * 1024, 2, line, 16);
+    const auto big = blockReuseOverhead(l1Bytes, 2, line, 16);
+    EXPECT_LT(big.leakagePct, small.leakagePct);
+}

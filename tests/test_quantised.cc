@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the int8 quantised inference path (Sec. VIII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/quantised.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::ml;
+
+namespace
+{
+
+AdaptivityModel
+randomModel(std::size_t dim, std::uint64_t seed)
+{
+    AdaptivityModel model(dim);
+    Rng rng(seed);
+    for (auto p : space::allParams()) {
+        for (auto &w : model.classifier(p).weights().data())
+            w = rng.nextGaussian();
+    }
+    return model;
+}
+
+std::vector<std::vector<double>>
+randomFeatures(std::size_t dim, std::size_t count,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> out;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<double> x(dim);
+        for (auto &v : x)
+            v = rng.nextDouble();
+        x.back() = 1.0;
+        out.push_back(std::move(x));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(QuantiseFeatures, MapsUnitIntervalToBytes)
+{
+    const std::vector<double> x = {0.0, 0.5, 1.0, 2.0, -1.0};
+    const auto q = quantiseFeatures(x);
+    EXPECT_EQ(q[0], 0);
+    EXPECT_EQ(q[1], 128);
+    EXPECT_EQ(q[2], 255);
+    EXPECT_EQ(q[3], 255);   // clamped
+    EXPECT_EQ(q[4], 0);     // clamped
+}
+
+TEST(Quantised, StorageIsInt8PerWeight)
+{
+    const auto model = randomModel(24, 1);
+    const QuantisedModel q(model);
+    EXPECT_EQ(q.storageBytes(), model.totalWeights());
+    // At the paper's scale this is KB-class storage.
+    EXPECT_LT(q.storageBytes(), 64u * 1024);
+}
+
+TEST(Quantised, HighAgreementWithFullPrecision)
+{
+    const auto model = randomModel(32, 7);
+    const QuantisedModel q(model);
+    const auto features = randomFeatures(32, 50, 9);
+    EXPECT_GT(q.agreement(model, features), 0.9);
+}
+
+TEST(Quantised, AgreementOnEmptyFeatureSetIsOne)
+{
+    const auto model = randomModel(8, 3);
+    const QuantisedModel q(model);
+    EXPECT_DOUBLE_EQ(q.agreement(model, {}), 1.0);
+}
+
+TEST(Quantised, PredictionsAreValidConfigurations)
+{
+    const auto model = randomModel(16, 5);
+    const QuantisedModel q(model);
+    const auto &ds = space::DesignSpace::the();
+    for (const auto &x : randomFeatures(16, 20, 11)) {
+        const auto cfg = q.predict(x);
+        for (auto p : space::allParams())
+            EXPECT_LT(cfg.index(p), ds.numValues(p));
+    }
+}
+
+TEST(Quantised, ScaleInvarianceOfArgmax)
+{
+    // Scaling all weights of one classifier must not change the
+    // quantised prediction (symmetric quantisation).
+    auto model = randomModel(12, 13);
+    const QuantisedModel q1(model);
+    for (auto p : space::allParams()) {
+        for (auto &w : model.classifier(p).weights().data())
+            w *= 3.7;
+    }
+    const QuantisedModel q2(model);
+    const auto features = randomFeatures(12, 25, 17);
+    std::size_t matches = 0, total = 0;
+    for (const auto &x : features) {
+        for (auto p : space::allParams()) {
+            ++total;
+            matches += q1.predict(x).index(p) ==
+                       q2.predict(x).index(p);
+        }
+    }
+    EXPECT_GT(double(matches) / double(total), 0.97);
+}

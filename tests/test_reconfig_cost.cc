@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the Table V reconfiguration cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/reconfig_cost.hh"
+#include "harness/gather.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::control;
+
+namespace
+{
+
+ReconfigCostModel
+baselineModel()
+{
+    return ReconfigCostModel(uarch::CoreConfig::fromConfiguration(
+        harness::paperBaselineConfig()));
+}
+
+} // namespace
+
+TEST(ReconfigCost, L2DominatesEverything)
+{
+    const auto model = baselineModel();
+    const auto l2 = model.cyclesFor(ReStructure::UCache);
+    for (auto s : {ReStructure::Width, ReStructure::RegFile,
+                   ReStructure::Bpred, ReStructure::Rob,
+                   ReStructure::Iq, ReStructure::Lsq,
+                   ReStructure::ICache, ReStructure::DCache}) {
+        EXPECT_GT(l2, 5 * model.cyclesFor(s))
+            << reStructureName(s);
+    }
+}
+
+TEST(ReconfigCost, MagnitudesInTableVBallpark)
+{
+    // Paper values: Width 443, RF 487, Bpred 154, ROB 255, IQ 234,
+    // LSQ 275, IC 478, DC 620, L2 18322.  We require same order of
+    // magnitude (0.2x - 5x).
+    const auto model = baselineModel();
+    const std::pair<ReStructure, double> expected[] = {
+        {ReStructure::Width, 443},   {ReStructure::RegFile, 487},
+        {ReStructure::Bpred, 154},   {ReStructure::Rob, 255},
+        {ReStructure::Iq, 234},      {ReStructure::Lsq, 275},
+        {ReStructure::ICache, 478},  {ReStructure::DCache, 620},
+        {ReStructure::UCache, 18322},
+    };
+    for (const auto &[s, paper] : expected) {
+        const double ours = double(model.cyclesFor(s));
+        EXPECT_GT(ours, paper * 0.2) << reStructureName(s);
+        EXPECT_LT(ours, paper * 5.0) << reStructureName(s);
+    }
+}
+
+TEST(ReconfigCost, NoChangeNoCost)
+{
+    const auto model = baselineModel();
+    const auto cfg = harness::paperBaselineConfig();
+    EXPECT_EQ(model.transitionCycles(cfg, cfg), 0u);
+}
+
+TEST(ReconfigCost, TransitionIsMaxOfChangedStructures)
+{
+    const auto model = baselineModel();
+    const auto from = harness::paperBaselineConfig();
+
+    auto bump_iq = from;
+    bump_iq.setValue(space::Param::IqSize, 80);
+    const auto iq_only = model.transitionCycles(from, bump_iq);
+
+    auto bump_both = bump_iq;
+    bump_both.setValue(space::Param::L2CacheSize, 4 * 1024 * 1024);
+    const auto with_l2 = model.transitionCycles(from, bump_both);
+
+    EXPECT_GT(with_l2, iq_only);
+    // Structures reconfigure in parallel: adding the IQ change to an
+    // L2 change costs no more than the L2 change alone.
+    auto l2_only_cfg = from;
+    l2_only_cfg.setValue(space::Param::L2CacheSize,
+                         4 * 1024 * 1024);
+    EXPECT_EQ(with_l2, model.transitionCycles(from, l2_only_cfg));
+}
+
+TEST(ReconfigCost, VisibleFractionApplied)
+{
+    const auto model = baselineModel();
+    const auto from = harness::paperBaselineConfig();
+    auto to = from;
+    to.setValue(space::Param::L2CacheSize, 4 * 1024 * 1024);
+    const auto visible = model.transitionCycles(from, to);
+    const auto full = model.cyclesFor(ReStructure::UCache);
+    EXPECT_NEAR(double(visible),
+                double(full) * ReconfigCostModel::visibleFraction,
+                1.0);
+}
+
+TEST(ReconfigCost, DeeperClockMeansMoreCycles)
+{
+    auto deep_cfg = harness::paperBaselineConfig();
+    deep_cfg.setValue(space::Param::Depth, 9);
+    auto shallow_cfg = harness::paperBaselineConfig();
+    shallow_cfg.setValue(space::Param::Depth, 36);
+    const ReconfigCostModel deep(
+        uarch::CoreConfig::fromConfiguration(deep_cfg));
+    const ReconfigCostModel shallow(
+        uarch::CoreConfig::fromConfiguration(shallow_cfg));
+    // Fixed power-up time in ns → more cycles at a faster clock.
+    EXPECT_GT(deep.cyclesFor(ReStructure::UCache),
+              shallow.cyclesFor(ReStructure::UCache));
+}
+
+TEST(ReconfigCost, StructureNames)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < numReStructures; ++i)
+        names.insert(reStructureName(static_cast<ReStructure>(i)));
+    EXPECT_EQ(names.size(), numReStructures);
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests of the physical register file occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/register_file.hh"
+
+using adaptsim::uarch::RegisterFile;
+using adaptsim::isa::numArchRegs;
+
+TEST(RegisterFile, InitialState)
+{
+    RegisterFile rf(64);
+    EXPECT_EQ(rf.used(), numArchRegs);
+    EXPECT_EQ(rf.inFlight(), 0);
+    EXPECT_TRUE(rf.canAllocate());
+}
+
+TEST(RegisterFile, AllocationExhaustsRenameRegs)
+{
+    RegisterFile rf(40);   // 8 rename registers
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(rf.canAllocate());
+        rf.allocate();
+    }
+    EXPECT_FALSE(rf.canAllocate());
+    EXPECT_EQ(rf.used(), 40);
+}
+
+TEST(RegisterFile, ReleaseFrees)
+{
+    RegisterFile rf(40);
+    for (int i = 0; i < 8; ++i)
+        rf.allocate();
+    rf.release();
+    EXPECT_TRUE(rf.canAllocate());
+    EXPECT_EQ(rf.inFlight(), 7);
+}
+
+TEST(RegisterFile, SquashFreesBulk)
+{
+    RegisterFile rf(64);
+    for (int i = 0; i < 10; ++i)
+        rf.allocate();
+    rf.squash(6);
+    EXPECT_EQ(rf.inFlight(), 4);
+    EXPECT_EQ(rf.used(), numArchRegs + 4);
+}
+
+TEST(RegisterFile, UsageTracksAllocation)
+{
+    RegisterFile rf(128);
+    rf.allocate();
+    rf.allocate();
+    EXPECT_EQ(rf.used(), numArchRegs + 2);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the disk-cached evaluation repository.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hh"
+#include "harness/gather.hh"
+#include "harness/repository.hh"
+#include "space/sampling.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::harness;
+
+namespace
+{
+
+class RepositoryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = "/tmp/adaptsim_repo_test";
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    PhaseSpec
+    spec() const
+    {
+        return PhaseSpec{"gzip", 60000, 20000, 2000, 1500};
+    }
+
+    std::string dir_;
+};
+
+} // namespace
+
+TEST_F(RepositoryTest, EvaluateProducesSaneMetrics)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto r = repo.evaluate(spec(),
+                                 paperBaselineConfig());
+    EXPECT_EQ(r.instructions, 1500.0);
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.watts, 0.1);
+    EXPECT_GT(r.efficiency, 0.0);
+    EXPECT_EQ(repo.simulationsRun(), 1u);
+}
+
+TEST_F(RepositoryTest, SecondEvaluateHitsCache)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto a = repo.evaluate(spec(), paperBaselineConfig());
+    const auto b = repo.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo.simulationsRun(), 1u);
+    EXPECT_EQ(repo.cacheHits(), 1u);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.efficiency, b.efficiency);
+}
+
+TEST_F(RepositoryTest, CacheSurvivesRestart)
+{
+    EvalRecord first;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        first = repo.evaluate(spec(), paperBaselineConfig());
+        repo.flush();
+    }
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        const auto again =
+            repo.evaluate(spec(), paperBaselineConfig());
+        EXPECT_EQ(repo.simulationsRun(), 0u);
+        EXPECT_EQ(repo.cacheHits(), 1u);
+        EXPECT_NEAR(again.efficiency, first.efficiency,
+                    first.efficiency * 1e-9);
+    }
+}
+
+TEST_F(RepositoryTest, BatchMatchesIndividual)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 2);
+    Rng rng(5);
+    const auto configs = space::uniformRandomSet(rng, 6);
+    const auto batch = repo.evaluateBatch(spec(), configs);
+    ASSERT_EQ(batch.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto single = repo.evaluate(spec(), configs[i]);
+        EXPECT_EQ(single.cycles, batch[i].cycles);
+    }
+}
+
+TEST_F(RepositoryTest, ProfileIsCachedInMemoryAndOnDisk)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto a = repo.profile(spec());
+    EXPECT_FALSE(a.basic.empty());
+    EXPECT_FALSE(a.advanced.empty());
+    const auto sims = repo.simulationsRun();
+    const auto b = repo.profile(spec());
+    EXPECT_EQ(repo.simulationsRun(), sims);   // memoised
+    EXPECT_EQ(a.advanced, b.advanced);
+
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    const auto c = repo2.profile(spec());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);    // from disk
+    ASSERT_EQ(c.advanced.size(), a.advanced.size());
+    for (std::size_t i = 0; i < c.advanced.size(); ++i)
+        EXPECT_NEAR(c.advanced[i], a.advanced[i], 1e-6);
+}
+
+TEST_F(RepositoryTest, DistinctSpecsAreDistinctEntries)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    auto other = spec();
+    other.startInst = 30000;
+    (void)repo.evaluate(spec(), paperBaselineConfig());
+    (void)repo.evaluate(other, paperBaselineConfig());
+    EXPECT_EQ(repo.simulationsRun(), 2u);
+}
+
+TEST_F(RepositoryTest, UnknownWorkloadIsFatal)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    PhaseSpec bad{"nonexistent", 60000, 0, 100, 100};
+    EXPECT_EXIT((void)repo.evaluate(bad, paperBaselineConfig()),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the deterministic xoshiro256** RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using adaptsim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SmallConsecutiveSeedsAreIndependent)
+{
+    // SplitMix seeding must decorrelate seeds 0 and 1.
+    Rng a(0), b(1);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(17);
+    const std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.nextWeighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(double(counts[2]) / double(counts[0]), 3.0, 0.4);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent)
+{
+    Rng a(5), b(5);
+    Rng ca = a.split(1);
+    Rng cb = b.split(1);
+    EXPECT_EQ(ca.next(), cb.next());
+
+    Rng c2 = Rng(5).split(2);
+    Rng c1 = Rng(5).split(1);
+    EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(23);
+    int trues = 0;
+    for (int i = 0; i < 20000; ++i)
+        trues += rng.nextBool(0.25);
+    EXPECT_NEAR(trues / 20000.0, 0.25, 0.02);
+}

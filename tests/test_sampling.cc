@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the design-space sampling strategies (Sec. V-C building
+ * blocks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "space/sampling.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::space;
+
+TEST(Sampling, UniformIsDeterministic)
+{
+    Rng a(1), b(1);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(uniformRandom(a), uniformRandom(b));
+}
+
+TEST(Sampling, UniformSetIsDistinct)
+{
+    Rng rng(5);
+    const auto set = uniformRandomSet(rng, 200);
+    EXPECT_EQ(set.size(), 200u);
+    std::unordered_set<std::uint64_t> codes;
+    for (const auto &cfg : set)
+        codes.insert(cfg.encode());
+    EXPECT_EQ(codes.size(), 200u);
+}
+
+TEST(Sampling, UniformCoversValueSpace)
+{
+    // With 300 draws every width value should appear.
+    Rng rng(9);
+    const auto set = uniformRandomSet(rng, 300);
+    std::set<std::uint64_t> widths;
+    for (const auto &cfg : set)
+        widths.insert(cfg.value(Param::Width));
+    EXPECT_EQ(widths.size(), 4u);
+}
+
+TEST(Sampling, NeighboursExcludeCentreAndAreDistinct)
+{
+    Rng rng(11);
+    const Configuration centre = uniformRandom(rng);
+    const auto neighbours = localNeighbours(rng, centre, 40);
+    EXPECT_EQ(neighbours.size(), 40u);
+    std::unordered_set<std::uint64_t> codes;
+    for (const auto &n : neighbours) {
+        EXPECT_NE(n, centre);
+        codes.insert(n.encode());
+    }
+    EXPECT_EQ(codes.size(), neighbours.size());
+}
+
+TEST(Sampling, NeighboursStayLocal)
+{
+    Rng rng(13);
+    const Configuration centre = uniformRandom(rng);
+    for (const auto &n : localNeighbours(rng, centre, 30, 2)) {
+        int changed = 0;
+        int max_step = 0;
+        for (auto p : allParams()) {
+            const int d = std::abs(int(n.index(p)) -
+                                   int(centre.index(p)));
+            changed += d != 0;
+            max_step = std::max(max_step, d);
+        }
+        EXPECT_GE(changed, 1);
+        EXPECT_LE(changed, 3);
+        // Up to 3 moves may hit the same parameter: cumulative
+        // steps stay within moves x radius.
+        EXPECT_LE(max_step, 6);
+    }
+}
+
+TEST(Sampling, OneAtATimeSweepSize)
+{
+    const Configuration centre;   // all minimums
+    const auto sweep = oneAtATimeSweep(centre);
+    // Σ (numValues - 1) over the 14 parameters = 111 - 14 = 97.
+    EXPECT_EQ(sweep.size(),
+              DesignSpace::the().totalValueCount() - numParams);
+    for (const auto &cfg : sweep) {
+        int diffs = 0;
+        for (auto p : allParams())
+            diffs += cfg.index(p) != centre.index(p);
+        EXPECT_EQ(diffs, 1);
+    }
+}
+
+TEST(Sampling, ParameterSweepCoversAllValues)
+{
+    const Configuration centre;
+    const auto sweep = parameterSweep(centre, Param::IqSize);
+    EXPECT_EQ(sweep.size(),
+              DesignSpace::the().numValues(Param::IqSize));
+    std::set<std::uint64_t> vals;
+    for (const auto &cfg : sweep) {
+        vals.insert(cfg.value(Param::IqSize));
+        // Other parameters pinned to the centre.
+        EXPECT_EQ(cfg.value(Param::Width),
+                  centre.value(Param::Width));
+    }
+    EXPECT_EQ(vals.size(), sweep.size());
+}
+
+TEST(Sampling, DedupePreservesOrder)
+{
+    Configuration a, b;
+    b.setValue(Param::Width, 8);
+    const auto out = dedupe({a, b, a, b, b});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], a);
+    EXPECT_EQ(out[1], b);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the soft-max classifier and its training objective,
+ * including a finite-difference gradient check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/softmax.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::ml;
+
+TEST(Softmax, AllOnesInitPredictsFirstClass)
+{
+    SoftmaxClassifier clf(4, 3);
+    const std::vector<double> x = {0.1, 0.2, 0.3, 1.0};
+    // Equal logits → argmax returns the first class.
+    EXPECT_EQ(clf.predict(x), 0u);
+}
+
+TEST(Softmax, LogitsAreWTransposeX)
+{
+    SoftmaxClassifier clf(2, 2);
+    clf.weights()(0, 0) = 1.0;
+    clf.weights()(0, 1) = -1.0;
+    clf.weights()(1, 0) = 0.5;
+    clf.weights()(1, 1) = 2.0;
+    const std::vector<double> x = {2.0, 4.0};
+    const auto b = clf.logits(x);
+    EXPECT_NEAR(b[0], 2.0 + 2.0, 1e-12);
+    EXPECT_NEAR(b[1], -2.0 + 8.0, 1e-12);
+    EXPECT_EQ(clf.predict(x), 1u);
+}
+
+TEST(Softmax, ProbabilitiesSumToOne)
+{
+    SoftmaxClassifier clf(3, 5);
+    Rng rng(3);
+    for (auto &w : clf.weights().data())
+        w = rng.nextGaussian();
+    const std::vector<double> x = {0.3, -1.0, 2.0};
+    const auto p = clf.probabilities(x);
+    double sum = 0.0;
+    for (double v : p) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Softmax, ProbabilitiesStableForLargeLogits)
+{
+    SoftmaxClassifier clf(1, 2);
+    clf.weights()(0, 0) = 800.0;   // would overflow exp() naively
+    clf.weights()(0, 1) = -800.0;
+    const std::vector<double> x = {1.0};
+    const auto p = clf.probabilities(x);
+    EXPECT_NEAR(p[0], 1.0, 1e-9);
+    EXPECT_TRUE(std::isfinite(p[1]));
+}
+
+TEST(SoftmaxObjective, GradientMatchesFiniteDifferences)
+{
+    const std::size_t D = 4, K = 3;
+    Rng rng(11);
+    std::vector<GroupedExample> examples;
+    for (int n = 0; n < 6; ++n) {
+        GroupedExample ex;
+        for (std::size_t d = 0; d < D; ++d)
+            ex.x.push_back(rng.nextDouble());
+        ex.classCount.assign(K, 0.0);
+        ex.classCount[rng.nextBounded(K)] = 2.0;
+        ex.classCount[rng.nextBounded(K)] += 1.0;
+        examples.push_back(std::move(ex));
+    }
+
+    std::vector<double> w(D * K);
+    for (auto &v : w)
+        v = rng.nextGaussian() * 0.3;
+
+    std::vector<double> grad;
+    const double f0 =
+        softmaxObjective(examples, D, K, 0.5, w, grad);
+    EXPECT_TRUE(std::isfinite(f0));
+
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        auto wp = w;
+        wp[i] += eps;
+        std::vector<double> tmp;
+        const double fp =
+            softmaxObjective(examples, D, K, 0.5, wp, tmp);
+        const double numeric = (fp - f0) / eps;
+        EXPECT_NEAR(grad[i], numeric, 1e-3)
+            << "weight " << i;
+    }
+}
+
+TEST(SoftmaxObjective, RegularisationPenalisesLargeWeights)
+{
+    const std::size_t D = 2, K = 2;
+    std::vector<GroupedExample> examples(1);
+    examples[0].x = {1.0, 0.0};
+    examples[0].classCount = {1.0, 0.0};
+
+    std::vector<double> small(D * K, 0.1), big(D * K, 10.0);
+    std::vector<double> g;
+    const double f_small_l0 =
+        softmaxObjective(examples, D, K, 0.0, small, g);
+    const double f_small_l5 =
+        softmaxObjective(examples, D, K, 5.0, small, g);
+    const double f_big_l5 =
+        softmaxObjective(examples, D, K, 5.0, big, g);
+    EXPECT_GT(f_small_l5, f_small_l0);
+    EXPECT_GT(f_big_l5, f_small_l5);
+}
+
+TEST(SoftmaxObjective, PerfectSeparationDrivesNllDown)
+{
+    // One feature that identifies the class exactly.
+    const std::size_t D = 2, K = 2;
+    std::vector<GroupedExample> examples(2);
+    examples[0].x = {1.0, 0.0};
+    examples[0].classCount = {3.0, 0.0};
+    examples[1].x = {0.0, 1.0};
+    examples[1].classCount = {0.0, 3.0};
+
+    std::vector<double> g;
+    std::vector<double> neutral(D * K, 1.0);
+    const double f_neutral =
+        softmaxObjective(examples, D, K, 0.0, neutral, g);
+    // Aligned weights: feature d votes for class d.
+    std::vector<double> aligned = {5.0, -5.0, -5.0, 5.0};
+    const double f_aligned =
+        softmaxObjective(examples, D, K, 0.0, aligned, g);
+    EXPECT_LT(f_aligned, f_neutral);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests of the 26-benchmark synthetic SPEC 2000 stand-in suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim::workload;
+
+TEST(SpecSuite, Has26UniqueBenchmarks)
+{
+    const auto &names = specNames();
+    EXPECT_EQ(names.size(), 26u);
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end())
+                  .size(),
+              26u);
+}
+
+TEST(SpecSuite, BuildsEveryBenchmark)
+{
+    const auto suite = specSuite(50000);
+    ASSERT_EQ(suite.size(), 26u);
+    for (const auto &wl : suite) {
+        EXPECT_GE(wl.totalInstructions(), 45000u) << wl.name();
+        EXPECT_GE(wl.numSegments(), 2u) << wl.name();
+    }
+}
+
+TEST(SpecSuite, ContainsTheExpectedClassics)
+{
+    for (const char *name : {"gzip", "gcc", "mcf", "crafty",
+                             "parser", "eon", "vortex", "swim",
+                             "mgrid", "applu", "art", "equake",
+                             "lucas", "apsi"}) {
+        EXPECT_NO_FATAL_FAILURE({
+            const auto wl = specBenchmark(name, 20000);
+            EXPECT_EQ(wl.name(), name);
+        });
+    }
+}
+
+TEST(SpecSuite, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)specBenchmark("spectral2029", 10000),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(SpecSuite, DeterministicAcrossBuilds)
+{
+    const auto a = specBenchmark("mcf", 100000);
+    const auto b = specBenchmark("mcf", 100000);
+    const auto ta = a.generate(5000, 100);
+    const auto tb = b.generate(5000, 100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(ta[i].pc, tb[i].pc);
+        EXPECT_EQ(ta[i].effAddr, tb[i].effAddr);
+    }
+}
+
+TEST(SpecSuite, BenchmarksDiffer)
+{
+    const auto a = specBenchmark("mcf", 100000);
+    const auto b = specBenchmark("eon", 100000);
+    const auto ta = a.generate(0, 200);
+    const auto tb = b.generate(0, 200);
+    int same = 0;
+    for (std::size_t i = 0; i < 200; ++i)
+        same += ta[i].pc == tb[i].pc;
+    EXPECT_LT(same, 60);
+}
+
+TEST(SpecSuite, BehaviourClassesAreDistinct)
+{
+    // mcf must be far more memory-hungry than eon; parser far more
+    // mis-speculation-prone (higher hard-branch share) than swim.
+    const auto mcf = specBenchmark("mcf", 100000).averageParams();
+    const auto eon = specBenchmark("eon", 100000).averageParams();
+    EXPECT_GT(mcf.dataWorkingSet, 16u * eon.dataWorkingSet);
+    EXPECT_GT(mcf.pointerChaseFrac, 0.3);
+
+    const auto parser =
+        specBenchmark("parser", 100000).averageParams();
+    const auto swim = specBenchmark("swim", 100000).averageParams();
+    EXPECT_GT(parser.hardBranchFrac, 3.0 * swim.hardBranchFrac);
+    EXPECT_GT(swim.fracFpAlu + swim.fracFpMul, 0.3);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests of the temporal (cycle-weighted) usage histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "counters/temporal_histogram.hh"
+
+using adaptsim::counters::TemporalHistogram;
+
+TEST(TemporalHistogram, RecordsCycleWeights)
+{
+    TemporalHistogram h(80, 16);
+    h.record(16, 100);   // 100 cycles at occupancy 16
+    h.record(32, 200);
+    EXPECT_EQ(h.totalCycles(), 300u);
+    EXPECT_NEAR(h.meanUsage(), (16.0 * 100 + 32.0 * 200) / 300.0,
+                1e-12);
+}
+
+TEST(TemporalHistogram, QuantileFindsDemandLevel)
+{
+    TemporalHistogram h(80, 16);
+    h.record(8, 900);
+    h.record(72, 100);
+    // 90% of cycles need ≤ 8 entries; full demand is 72.
+    EXPECT_LE(h.usageQuantile(0.9), 10u);
+    EXPECT_GE(h.usageQuantile(0.999), 70u);
+}
+
+TEST(TemporalHistogram, ModeUsage)
+{
+    TemporalHistogram h(80, 16);
+    h.record(40, 500);
+    h.record(8, 100);
+    EXPECT_NEAR(double(h.modeUsage()), 40.0, 5.0);
+}
+
+TEST(TemporalHistogram, NormalisedFractions)
+{
+    TemporalHistogram h(8, 9);
+    h.record(0, 25);
+    h.record(8, 75);
+    const auto f = h.normalised();
+    EXPECT_NEAR(f.front(), 0.25, 1e-12);
+    EXPECT_NEAR(f.back(), 0.75, 1e-12);
+}
+
+TEST(TemporalHistogram, ClearResets)
+{
+    TemporalHistogram h(10, 5);
+    h.record(3, 10);
+    h.clear();
+    EXPECT_EQ(h.totalCycles(), 0u);
+    EXPECT_EQ(h.meanUsage(), 0.0);
+}
+
+TEST(TemporalHistogram, BinValueCoversRange)
+{
+    TemporalHistogram h(160, 16);
+    // The last bin must start at or below the max value and the
+    // max value must land in a valid bin.
+    EXPECT_LE(h.binValue(h.numBins() - 1), 160u);
+    h.record(160, 1);
+    EXPECT_EQ(h.totalCycles(), 1u);
+}
+
+TEST(TemporalHistogram, RejectsDegenerate)
+{
+    EXPECT_EXIT((TemporalHistogram{10, 1}),
+                ::testing::ExitedWithCode(1), "");
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests of the thread pool's parallel-for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "harness/thread_pool.hh"
+
+using adaptsim::harness::ThreadPool;
+
+TEST(ThreadPool, InlineWhenSingleThreaded)
+{
+    ThreadPool pool(1);
+    std::vector<int> out(100, 0);
+    pool.parallelFor(100, [&](std::size_t i) { out[i] = int(i); });
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, EveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallelFor(500, [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SumsMatch)
+{
+    ThreadPool pool(3);
+    std::atomic<long> total{0};
+    pool.parallelFor(1000, [&](std::size_t i) {
+        total += long(i);
+    });
+    EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> count{0};
+        pool.parallelFor(50, [&](std::size_t) { ++count; });
+        EXPECT_EQ(count.load(), 50);
+    }
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleTaskRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallelFor(1, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 1);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests of the interval trace LRU cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec_suite.hh"
+#include "workload/trace_cache.hh"
+
+using namespace adaptsim::workload;
+
+TEST(TraceCache, MissThenHit)
+{
+    const auto wl = specBenchmark("gzip", 50000);
+    TraceCache cache(4);
+    const auto a = cache.get(wl, 1000, 500);
+    EXPECT_EQ(cache.misses(), 1u);
+    const auto b = cache.get(wl, 1000, 500);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(a.get(), b.get());   // shared, not regenerated
+    EXPECT_EQ(a->size(), 500u);
+}
+
+TEST(TraceCache, DistinctKeysAreDistinctEntries)
+{
+    const auto wl = specBenchmark("gzip", 50000);
+    TraceCache cache(4);
+    (void)cache.get(wl, 0, 100);
+    (void)cache.get(wl, 100, 100);
+    (void)cache.get(wl, 0, 200);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(TraceCache, EvictsLeastRecentlyUsed)
+{
+    const auto wl = specBenchmark("gzip", 50000);
+    TraceCache cache(2);
+    (void)cache.get(wl, 0, 64);      // A
+    (void)cache.get(wl, 64, 64);     // B
+    (void)cache.get(wl, 0, 64);      // A again (hit, refresh)
+    (void)cache.get(wl, 128, 64);    // C — evicts B
+    EXPECT_EQ(cache.size(), 2u);
+    (void)cache.get(wl, 0, 64);      // A still cached
+    EXPECT_EQ(cache.hits(), 2u);
+    (void)cache.get(wl, 64, 64);     // B was evicted
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(TraceCache, DifferentWorkloadsDoNotCollide)
+{
+    const auto a = specBenchmark("gzip", 50000);
+    const auto b = specBenchmark("mcf", 50000);
+    TraceCache cache(4);
+    const auto ta = cache.get(a, 0, 50);
+    const auto tb = cache.get(b, 0, 50);
+    EXPECT_EQ(cache.misses(), 2u);
+    // Same nominal code region, but the op streams must differ.
+    int same = 0;
+    for (std::size_t i = 0; i < 50; ++i)
+        same += (*ta)[i].opClass == (*tb)[i].opClass &&
+                (*ta)[i].pc == (*tb)[i].pc;
+    EXPECT_LT(same, 40);
+}
+
+TEST(TraceCache, ContentMatchesDirectGeneration)
+{
+    const auto wl = specBenchmark("swim", 50000);
+    TraceCache cache(4);
+    const auto cached = cache.get(wl, 2000, 300);
+    const auto direct = wl.generate(2000, 300);
+    ASSERT_EQ(cached->size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ((*cached)[i].pc, direct[i].pc);
+}

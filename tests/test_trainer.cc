@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of good-set labelling and full-model training on synthetic
+ * phase data with a known counters→configuration mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/trainer.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::ml;
+using space::Param;
+
+namespace
+{
+
+/**
+ * Synthetic phases of two behaviour types: type 0 prefers small
+ * structures, type 1 prefers large ones.  One feature reveals the
+ * type.
+ */
+std::vector<PhaseData>
+syntheticPhases(std::size_t count, std::uint64_t seed)
+{
+    const auto &ds = space::DesignSpace::the();
+    Rng rng(seed);
+    std::vector<PhaseData> phases;
+    for (std::size_t i = 0; i < count; ++i) {
+        const bool big = i % 2 == 1;
+        PhaseData ph;
+        ph.workload = "synt" + std::to_string(i % 7);
+        ph.phaseIndex = i;
+        ph.weight = 1.0;
+        // Features: [type, noise, bias].
+        ph.features = {big ? 1.0 : 0.0, rng.nextDouble(), 1.0};
+
+        // Evaluations: the "good" configs have IQ near the type's
+        // preferred size; efficiency decays with distance.
+        const double target = big ? 8.0 : 1.0;   // value index
+        for (int s = 0; s < 30; ++s) {
+            space::Configuration cfg;
+            for (auto p : space::allParams()) {
+                cfg.setIndex(p, std::uint8_t(rng.nextBounded(
+                    ds.numValues(p))));
+            }
+            const double d =
+                std::abs(double(cfg.index(Param::IqSize)) - target);
+            ph.evals.push_back(
+                ConfigEval{cfg, 100.0 / (1.0 + d * d)});
+        }
+        phases.push_back(std::move(ph));
+    }
+    return phases;
+}
+
+} // namespace
+
+TEST(PhaseData, BestAndGoodSet)
+{
+    PhaseData ph;
+    ph.features = {1.0};
+    space::Configuration a, b, c;
+    b.setValue(Param::Width, 8);
+    c.setValue(Param::Width, 6);
+    ph.evals = {{a, 100.0}, {b, 97.0}, {c, 50.0}};
+    EXPECT_DOUBLE_EQ(ph.bestEfficiency(), 100.0);
+    EXPECT_EQ(ph.best().config, a);
+    const auto good = ph.goodConfigs(0.95);
+    ASSERT_EQ(good.size(), 2u);   // 100 and 97 are within 5%
+}
+
+TEST(Trainer, BuildExamplesCountsGoodConfigs)
+{
+    const auto phases = syntheticPhases(10, 3);
+    const auto examples =
+        buildExamples(phases, Param::IqSize, 0.95);
+    ASSERT_EQ(examples.size(), 10u);
+    for (const auto &ex : examples) {
+        double total = 0.0;
+        for (double c : ex.classCount)
+            total += c;
+        EXPECT_GE(total, 1.0);   // at least the best config
+        EXPECT_EQ(ex.x.size(), 3u);
+    }
+}
+
+TEST(Trainer, LearnsFeatureToParameterMapping)
+{
+    const auto phases = syntheticPhases(60, 7);
+    TrainerOptions opt;
+    opt.cg.maxIterations = 120;
+    const auto model = trainModel(phases, opt);
+
+    // Predict for fresh feature vectors of both types.
+    const std::vector<double> small_x = {0.0, 0.5, 1.0};
+    const std::vector<double> big_x = {1.0, 0.5, 1.0};
+    const auto small_cfg = model.predict(small_x);
+    const auto big_cfg = model.predict(big_x);
+    // IQ prediction must separate the types in the right direction.
+    EXPECT_LT(small_cfg.index(Param::IqSize) + 2,
+              big_cfg.index(Param::IqSize));
+}
+
+TEST(Trainer, ModelDimensions)
+{
+    const auto phases = syntheticPhases(8, 1);
+    const auto model = trainModel(phases, {});
+    EXPECT_EQ(model.featureDim(), 3u);
+    const auto &ds = space::DesignSpace::the();
+    std::size_t expect = 0;
+    for (auto p : space::allParams())
+        expect += 3 * ds.numValues(p);
+    EXPECT_EQ(model.totalWeights(), expect);
+}
+
+TEST(Trainer, DeterministicTraining)
+{
+    const auto phases = syntheticPhases(20, 5);
+    const auto a = trainModel(phases, {});
+    const auto b = trainModel(phases, {});
+    const std::vector<double> x = {1.0, 0.3, 1.0};
+    EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Trainer, RejectsEmptyAndInconsistent)
+{
+    EXPECT_EXIT((void)trainModel({}, {}),
+                ::testing::ExitedWithCode(1), "");
+    auto phases = syntheticPhases(4, 2);
+    phases[2].features.push_back(9.0);
+    EXPECT_EXIT((void)trainModel(phases, {}),
+                ::testing::ExitedWithCode(1), "");
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of the workload (kernel schedule) abstraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::workload;
+
+namespace
+{
+
+KernelParams
+kernelNamed(const std::string &name, double frac_load)
+{
+    KernelParams k;
+    k.name = name;
+    k.fracLoad = frac_load;
+    k.numBlocks = 16;
+    k.blockSize = 6;
+    return k;
+}
+
+Workload
+makeWorkload()
+{
+    return Workload("testwl",
+                    {{kernelNamed("A", 0.1), 10000},
+                     {kernelNamed("B", 0.4), 20000},
+                     {kernelNamed("A", 0.1), 10000}},
+                    99);
+}
+
+} // namespace
+
+TEST(Workload, TotalLength)
+{
+    EXPECT_EQ(makeWorkload().totalInstructions(), 40000u);
+}
+
+TEST(Workload, GenerateWindowsAreConsistent)
+{
+    const auto wl = makeWorkload();
+    const auto full = wl.generate(0, 1000);
+    const auto tail = wl.generate(500, 500);
+    for (std::size_t i = 0; i < 500; ++i) {
+        EXPECT_EQ(full[500 + i].pc, tail[i].pc);
+        EXPECT_EQ(full[500 + i].opClass, tail[i].opClass);
+    }
+}
+
+TEST(Workload, CrossSegmentGeneration)
+{
+    const auto wl = makeWorkload();
+    const auto window = wl.generate(9500, 1000);   // spans A → B
+    EXPECT_EQ(window.size(), 1000u);
+    // Segment A's kernel id is 0, B's is 1.
+    EXPECT_EQ(window.front().bbId >> 16, 0u);
+    EXPECT_EQ(window.back().bbId >> 16, 1u);
+}
+
+TEST(Workload, RepeatedKernelReplaysSameCode)
+{
+    const auto wl = makeWorkload();
+    // Segment 0 (A) and segment 2 (A again) replay identical µops.
+    const auto first = wl.generate(0, 200);
+    const auto repeat = wl.generate(30000, 200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        EXPECT_EQ(first[i].pc, repeat[i].pc);
+        EXPECT_EQ(first[i].opClass, repeat[i].opClass);
+    }
+}
+
+TEST(Workload, WrapsAroundEnd)
+{
+    const auto wl = makeWorkload();
+    const auto wrapped = wl.generate(39990, 20);
+    const auto head = wl.generate(0, 10);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(wrapped[10 + i].pc, head[i].pc);
+}
+
+TEST(Workload, AverageParamsIsLengthWeighted)
+{
+    const auto wl = makeWorkload();
+    const auto avg = wl.averageParams();
+    // 20k ops at 0.1 + 20k at 0.4 → 0.25.
+    EXPECT_NEAR(avg.fracLoad, 0.25, 1e-12);
+}
+
+TEST(Workload, RejectsEmptySchedules)
+{
+    EXPECT_EXIT((Workload{"bad", {}, 1}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Workload, RejectsZeroLengthSegments)
+{
+    EXPECT_EXIT((Workload{"bad",
+                          {{kernelNamed("A", 0.1), 0}},
+                          1}),
+                ::testing::ExitedWithCode(1), "");
+}

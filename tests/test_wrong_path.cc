@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests of the synthetic wrong-path µop generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/spec_suite.hh"
+#include "workload/wrong_path.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::workload;
+
+TEST(WrongPath, DeterministicPerBranchPc)
+{
+    const auto mix = specBenchmark("gcc", 50000).averageParams();
+    WrongPathGenerator a(mix, 1);
+    WrongPathGenerator b(mix, 1);
+    a.startBurst(0x400100);
+    b.startBurst(0x400100);
+    for (int i = 0; i < 200; ++i) {
+        const auto oa = a.next();
+        const auto ob = b.next();
+        EXPECT_EQ(oa.pc, ob.pc);
+        EXPECT_EQ(oa.opClass, ob.opClass);
+        EXPECT_EQ(oa.effAddr, ob.effAddr);
+    }
+}
+
+TEST(WrongPath, SameBranchAlwaysSameWrongPath)
+{
+    const auto mix = specBenchmark("gcc", 50000).averageParams();
+    WrongPathGenerator gen(mix, 7);
+    gen.startBurst(0x400200);
+    const auto first = gen.next();
+    gen.startBurst(0x400300);   // different branch
+    (void)gen.next();
+    gen.startBurst(0x400200);   // back to the first branch
+    const auto again = gen.next();
+    EXPECT_EQ(first.pc, again.pc);
+    EXPECT_EQ(first.opClass, again.opClass);
+}
+
+TEST(WrongPath, PcsAdvance)
+{
+    const auto mix = specBenchmark("eon", 50000).averageParams();
+    WrongPathGenerator gen(mix, 3);
+    gen.startBurst(0x500000);
+    Addr prev = 0x500000;
+    for (int i = 0; i < 50; ++i) {
+        const auto op = gen.next();
+        EXPECT_GT(op.pc, prev);
+        prev = op.pc;
+    }
+}
+
+TEST(WrongPath, MixRoughlyFollowsWorkload)
+{
+    auto mix = specBenchmark("mcf", 50000).averageParams();
+    WrongPathGenerator gen(mix, 11);
+    gen.startBurst(0x400000);
+    int loads = 0, total = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto op = gen.next();
+        if (op.isBranch())
+            continue;
+        loads += op.isLoad();
+        ++total;
+    }
+    EXPECT_NEAR(double(loads) / total, mix.fracLoad, 0.05);
+}
+
+TEST(WrongPath, MarkedWithWrongPathBlockId)
+{
+    const auto mix = specBenchmark("gzip", 50000).averageParams();
+    WrongPathGenerator gen(mix, 5);
+    gen.startBurst(0x400000);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(gen.next().bbId, 0xffff0000u);
+}
+
+TEST(WrongPath, EmitsBranches)
+{
+    const auto mix = specBenchmark("gzip", 50000).averageParams();
+    WrongPathGenerator gen(mix, 5);
+    gen.startBurst(0x400000);
+    int branches = 0;
+    for (int i = 0; i < 1000; ++i)
+        branches += gen.next().isBranch();
+    EXPECT_GT(branches, 50);
+    EXPECT_LT(branches, 400);
+}
