@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptation_rate.dir/ablation_adaptation_rate.cc.o"
+  "CMakeFiles/ablation_adaptation_rate.dir/ablation_adaptation_rate.cc.o.d"
+  "ablation_adaptation_rate"
+  "ablation_adaptation_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptation_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

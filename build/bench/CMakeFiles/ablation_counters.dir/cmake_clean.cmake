@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counters.dir/ablation_counters.cc.o"
+  "CMakeFiles/ablation_counters.dir/ablation_counters.cc.o.d"
+  "ablation_counters"
+  "ablation_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantisation.dir/ablation_quantisation.cc.o"
+  "CMakeFiles/ablation_quantisation.dir/ablation_quantisation.cc.o.d"
+  "ablation_quantisation"
+  "ablation_quantisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threshold.dir/ablation_threshold.cc.o"
+  "CMakeFiles/ablation_threshold.dir/ablation_threshold.cc.o.d"
+  "ablation_threshold"
+  "ablation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

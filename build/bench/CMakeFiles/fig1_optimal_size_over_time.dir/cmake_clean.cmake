@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_optimal_size_over_time.dir/fig1_optimal_size_over_time.cc.o"
+  "CMakeFiles/fig1_optimal_size_over_time.dir/fig1_optimal_size_over_time.cc.o.d"
+  "fig1_optimal_size_over_time"
+  "fig1_optimal_size_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_optimal_size_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lsq_counters.dir/fig3_lsq_counters.cc.o"
+  "CMakeFiles/fig3_lsq_counters.dir/fig3_lsq_counters.cc.o.d"
+  "fig3_lsq_counters"
+  "fig3_lsq_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lsq_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

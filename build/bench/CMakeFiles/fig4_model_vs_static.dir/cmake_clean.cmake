@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_model_vs_static.dir/fig4_model_vs_static.cc.o"
+  "CMakeFiles/fig4_model_vs_static.dir/fig4_model_vs_static.cc.o.d"
+  "fig4_model_vs_static"
+  "fig4_model_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_model_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

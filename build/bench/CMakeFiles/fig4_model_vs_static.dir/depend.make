@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_model_vs_static.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_perf_energy_breakdown.dir/fig5_perf_energy_breakdown.cc.o"
+  "CMakeFiles/fig5_perf_energy_breakdown.dir/fig5_perf_energy_breakdown.cc.o.d"
+  "fig5_perf_energy_breakdown"
+  "fig5_perf_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_perf_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vs_ideal.dir/fig6_vs_ideal.cc.o"
+  "CMakeFiles/fig6_vs_ideal.dir/fig6_vs_ideal.cc.o.d"
+  "fig6_vs_ideal"
+  "fig6_vs_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vs_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_phase_accuracy.dir/fig7_phase_accuracy.cc.o"
+  "CMakeFiles/fig7_phase_accuracy.dir/fig7_phase_accuracy.cc.o.d"
+  "fig7_phase_accuracy"
+  "fig7_phase_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_phase_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_phase_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_parameter_violins.dir/fig8_parameter_violins.cc.o"
+  "CMakeFiles/fig8_parameter_violins.dir/fig8_parameter_violins.cc.o.d"
+  "fig8_parameter_violins"
+  "fig8_parameter_violins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_parameter_violins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_parameter_violins.
+# This may be replaced when dependencies are built.

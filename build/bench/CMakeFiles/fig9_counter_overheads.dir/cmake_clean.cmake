@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_counter_overheads.dir/fig9_counter_overheads.cc.o"
+  "CMakeFiles/fig9_counter_overheads.dir/fig9_counter_overheads.cc.o.d"
+  "fig9_counter_overheads"
+  "fig9_counter_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_counter_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_model.dir/micro_model.cc.o"
+  "CMakeFiles/micro_model.dir/micro_model.cc.o.d"
+  "micro_model"
+  "micro_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

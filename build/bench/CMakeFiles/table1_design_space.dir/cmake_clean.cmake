@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_design_space.dir/table1_design_space.cc.o"
+  "CMakeFiles/table1_design_space.dir/table1_design_space.cc.o.d"
+  "table1_design_space"
+  "table1_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_baseline_static.dir/table3_baseline_static.cc.o"
+  "CMakeFiles/table3_baseline_static.dir/table3_baseline_static.cc.o.d"
+  "table3_baseline_static"
+  "table3_baseline_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_baseline_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_baseline_static.
+# This may be replaced when dependencies are built.

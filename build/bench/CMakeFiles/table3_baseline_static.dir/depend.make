@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_baseline_static.
+# This may be replaced when dependencies are built.

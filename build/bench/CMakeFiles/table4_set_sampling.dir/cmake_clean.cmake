@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_set_sampling.dir/table4_set_sampling.cc.o"
+  "CMakeFiles/table4_set_sampling.dir/table4_set_sampling.cc.o.d"
+  "table4_set_sampling"
+  "table4_set_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_set_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

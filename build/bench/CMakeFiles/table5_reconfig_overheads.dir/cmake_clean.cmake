@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_reconfig_overheads.dir/table5_reconfig_overheads.cc.o"
+  "CMakeFiles/table5_reconfig_overheads.dir/table5_reconfig_overheads.cc.o.d"
+  "table5_reconfig_overheads"
+  "table5_reconfig_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_reconfig_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

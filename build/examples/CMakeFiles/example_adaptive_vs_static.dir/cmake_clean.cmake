@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_vs_static.dir/adaptive_vs_static.cpp.o"
+  "CMakeFiles/example_adaptive_vs_static.dir/adaptive_vs_static.cpp.o.d"
+  "example_adaptive_vs_static"
+  "example_adaptive_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

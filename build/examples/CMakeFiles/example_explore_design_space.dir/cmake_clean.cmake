@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_explore_design_space.dir/explore_design_space.cpp.o"
+  "CMakeFiles/example_explore_design_space.dir/explore_design_space.cpp.o.d"
+  "example_explore_design_space"
+  "example_explore_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_explore_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

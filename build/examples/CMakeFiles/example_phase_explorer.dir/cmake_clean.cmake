@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_phase_explorer.dir/phase_explorer.cpp.o"
+  "CMakeFiles/example_phase_explorer.dir/phase_explorer.cpp.o.d"
+  "example_phase_explorer"
+  "example_phase_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_phase_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_train_custom_model.dir/train_custom_model.cpp.o"
+  "CMakeFiles/example_train_custom_model.dir/train_custom_model.cpp.o.d"
+  "example_train_custom_model"
+  "example_train_custom_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_train_custom_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

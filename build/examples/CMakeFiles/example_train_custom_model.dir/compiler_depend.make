@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_train_custom_model.
+# This may be replaced when dependencies are built.

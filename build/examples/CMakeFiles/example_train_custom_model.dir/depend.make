@@ -1,0 +1,2 @@
+# Empty dependencies file for example_train_custom_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ascii_plot.cc" "src/CMakeFiles/adaptsim.dir/common/ascii_plot.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/common/ascii_plot.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/adaptsim.dir/common/env.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/common/env.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/adaptsim.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/adaptsim.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/adaptsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/adaptsim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/common/table.cc.o.d"
+  "/root/repo/src/control/controller.cc" "src/CMakeFiles/adaptsim.dir/control/controller.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/control/controller.cc.o.d"
+  "/root/repo/src/control/reconfig_cost.cc" "src/CMakeFiles/adaptsim.dir/control/reconfig_cost.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/control/reconfig_cost.cc.o.d"
+  "/root/repo/src/counters/counter_bank.cc" "src/CMakeFiles/adaptsim.dir/counters/counter_bank.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/counter_bank.cc.o.d"
+  "/root/repo/src/counters/feature_vector.cc" "src/CMakeFiles/adaptsim.dir/counters/feature_vector.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/feature_vector.cc.o.d"
+  "/root/repo/src/counters/overhead_model.cc" "src/CMakeFiles/adaptsim.dir/counters/overhead_model.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/overhead_model.cc.o.d"
+  "/root/repo/src/counters/reuse_distance.cc" "src/CMakeFiles/adaptsim.dir/counters/reuse_distance.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/reuse_distance.cc.o.d"
+  "/root/repo/src/counters/set_sampling.cc" "src/CMakeFiles/adaptsim.dir/counters/set_sampling.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/set_sampling.cc.o.d"
+  "/root/repo/src/counters/stack_distance.cc" "src/CMakeFiles/adaptsim.dir/counters/stack_distance.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/stack_distance.cc.o.d"
+  "/root/repo/src/counters/temporal_histogram.cc" "src/CMakeFiles/adaptsim.dir/counters/temporal_histogram.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/counters/temporal_histogram.cc.o.d"
+  "/root/repo/src/harness/baselines.cc" "src/CMakeFiles/adaptsim.dir/harness/baselines.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/harness/baselines.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/adaptsim.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/gather.cc" "src/CMakeFiles/adaptsim.dir/harness/gather.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/harness/gather.cc.o.d"
+  "/root/repo/src/harness/repository.cc" "src/CMakeFiles/adaptsim.dir/harness/repository.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/harness/repository.cc.o.d"
+  "/root/repo/src/harness/thread_pool.cc" "src/CMakeFiles/adaptsim.dir/harness/thread_pool.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/harness/thread_pool.cc.o.d"
+  "/root/repo/src/isa/micro_op.cc" "src/CMakeFiles/adaptsim.dir/isa/micro_op.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/isa/micro_op.cc.o.d"
+  "/root/repo/src/ml/conjugate_gradient.cc" "src/CMakeFiles/adaptsim.dir/ml/conjugate_gradient.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/ml/conjugate_gradient.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/adaptsim.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/adaptsim.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/quantised.cc" "src/CMakeFiles/adaptsim.dir/ml/quantised.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/ml/quantised.cc.o.d"
+  "/root/repo/src/ml/softmax.cc" "src/CMakeFiles/adaptsim.dir/ml/softmax.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/ml/softmax.cc.o.d"
+  "/root/repo/src/ml/trainer.cc" "src/CMakeFiles/adaptsim.dir/ml/trainer.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/ml/trainer.cc.o.d"
+  "/root/repo/src/phase/bbv.cc" "src/CMakeFiles/adaptsim.dir/phase/bbv.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/phase/bbv.cc.o.d"
+  "/root/repo/src/phase/kmeans.cc" "src/CMakeFiles/adaptsim.dir/phase/kmeans.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/phase/kmeans.cc.o.d"
+  "/root/repo/src/phase/online_detector.cc" "src/CMakeFiles/adaptsim.dir/phase/online_detector.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/phase/online_detector.cc.o.d"
+  "/root/repo/src/phase/simpoint.cc" "src/CMakeFiles/adaptsim.dir/phase/simpoint.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/phase/simpoint.cc.o.d"
+  "/root/repo/src/power/cacti.cc" "src/CMakeFiles/adaptsim.dir/power/cacti.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/power/cacti.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/adaptsim.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/power/frequency.cc" "src/CMakeFiles/adaptsim.dir/power/frequency.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/power/frequency.cc.o.d"
+  "/root/repo/src/power/metrics.cc" "src/CMakeFiles/adaptsim.dir/power/metrics.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/power/metrics.cc.o.d"
+  "/root/repo/src/space/configuration.cc" "src/CMakeFiles/adaptsim.dir/space/configuration.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/space/configuration.cc.o.d"
+  "/root/repo/src/space/design_space.cc" "src/CMakeFiles/adaptsim.dir/space/design_space.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/space/design_space.cc.o.d"
+  "/root/repo/src/space/sampling.cc" "src/CMakeFiles/adaptsim.dir/space/sampling.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/space/sampling.cc.o.d"
+  "/root/repo/src/uarch/branch_predictor.cc" "src/CMakeFiles/adaptsim.dir/uarch/branch_predictor.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/CMakeFiles/adaptsim.dir/uarch/cache.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/cache.cc.o.d"
+  "/root/repo/src/uarch/cache_hierarchy.cc" "src/CMakeFiles/adaptsim.dir/uarch/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/cache_hierarchy.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/CMakeFiles/adaptsim.dir/uarch/core.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/core.cc.o.d"
+  "/root/repo/src/uarch/core_config.cc" "src/CMakeFiles/adaptsim.dir/uarch/core_config.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/core_config.cc.o.d"
+  "/root/repo/src/uarch/functional_units.cc" "src/CMakeFiles/adaptsim.dir/uarch/functional_units.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/functional_units.cc.o.d"
+  "/root/repo/src/uarch/issue_queue.cc" "src/CMakeFiles/adaptsim.dir/uarch/issue_queue.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/issue_queue.cc.o.d"
+  "/root/repo/src/uarch/load_store_queue.cc" "src/CMakeFiles/adaptsim.dir/uarch/load_store_queue.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/load_store_queue.cc.o.d"
+  "/root/repo/src/uarch/pipeline.cc" "src/CMakeFiles/adaptsim.dir/uarch/pipeline.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/pipeline.cc.o.d"
+  "/root/repo/src/uarch/register_file.cc" "src/CMakeFiles/adaptsim.dir/uarch/register_file.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/register_file.cc.o.d"
+  "/root/repo/src/uarch/rob.cc" "src/CMakeFiles/adaptsim.dir/uarch/rob.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/uarch/rob.cc.o.d"
+  "/root/repo/src/workload/kernel.cc" "src/CMakeFiles/adaptsim.dir/workload/kernel.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/workload/kernel.cc.o.d"
+  "/root/repo/src/workload/spec_suite.cc" "src/CMakeFiles/adaptsim.dir/workload/spec_suite.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/workload/spec_suite.cc.o.d"
+  "/root/repo/src/workload/trace_cache.cc" "src/CMakeFiles/adaptsim.dir/workload/trace_cache.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/workload/trace_cache.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/adaptsim.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/workload/workload.cc.o.d"
+  "/root/repo/src/workload/wrong_path.cc" "src/CMakeFiles/adaptsim.dir/workload/wrong_path.cc.o" "gcc" "src/CMakeFiles/adaptsim.dir/workload/wrong_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

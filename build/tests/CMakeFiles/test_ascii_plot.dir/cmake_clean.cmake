@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_plot.dir/test_ascii_plot.cc.o"
+  "CMakeFiles/test_ascii_plot.dir/test_ascii_plot.cc.o.d"
+  "test_ascii_plot"
+  "test_ascii_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bbv.dir/test_bbv.cc.o"
+  "CMakeFiles/test_bbv.dir/test_bbv.cc.o.d"
+  "test_bbv"
+  "test_bbv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bbv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bbv.
+# This may be replaced when dependencies are built.

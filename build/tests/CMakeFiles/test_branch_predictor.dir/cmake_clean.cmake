@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_predictor.dir/test_branch_predictor.cc.o"
+  "CMakeFiles/test_branch_predictor.dir/test_branch_predictor.cc.o.d"
+  "test_branch_predictor"
+  "test_branch_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_hierarchy.dir/test_cache_hierarchy.cc.o"
+  "CMakeFiles/test_cache_hierarchy.dir/test_cache_hierarchy.cc.o.d"
+  "test_cache_hierarchy"
+  "test_cache_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cacti.dir/test_cacti.cc.o"
+  "CMakeFiles/test_cacti.dir/test_cacti.cc.o.d"
+  "test_cacti"
+  "test_cacti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cacti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cacti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configuration.dir/test_configuration.cc.o"
+  "CMakeFiles/test_configuration.dir/test_configuration.cc.o.d"
+  "test_configuration"
+  "test_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

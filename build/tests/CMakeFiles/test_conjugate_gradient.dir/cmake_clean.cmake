@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conjugate_gradient.dir/test_conjugate_gradient.cc.o"
+  "CMakeFiles/test_conjugate_gradient.dir/test_conjugate_gradient.cc.o.d"
+  "test_conjugate_gradient"
+  "test_conjugate_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conjugate_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_config.dir/test_core_config.cc.o"
+  "CMakeFiles/test_core_config.dir/test_core_config.cc.o.d"
+  "test_core_config"
+  "test_core_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

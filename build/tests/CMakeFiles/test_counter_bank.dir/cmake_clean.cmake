@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_bank.dir/test_counter_bank.cc.o"
+  "CMakeFiles/test_counter_bank.dir/test_counter_bank.cc.o.d"
+  "test_counter_bank"
+  "test_counter_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_space.dir/test_design_space.cc.o"
+  "CMakeFiles/test_design_space.dir/test_design_space.cc.o.d"
+  "test_design_space"
+  "test_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_model.dir/test_energy_model.cc.o"
+  "CMakeFiles/test_energy_model.dir/test_energy_model.cc.o.d"
+  "test_energy_model"
+  "test_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env.dir/test_env.cc.o"
+  "CMakeFiles/test_env.dir/test_env.cc.o.d"
+  "test_env"
+  "test_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

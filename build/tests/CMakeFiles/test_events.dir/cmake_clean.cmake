@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_events.dir/test_events.cc.o"
+  "CMakeFiles/test_events.dir/test_events.cc.o.d"
+  "test_events"
+  "test_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

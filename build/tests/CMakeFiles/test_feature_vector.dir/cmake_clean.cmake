@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_vector.dir/test_feature_vector.cc.o"
+  "CMakeFiles/test_feature_vector.dir/test_feature_vector.cc.o.d"
+  "test_feature_vector"
+  "test_feature_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency.dir/test_frequency.cc.o"
+  "CMakeFiles/test_frequency.dir/test_frequency.cc.o.d"
+  "test_frequency"
+  "test_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_units.dir/test_functional_units.cc.o"
+  "CMakeFiles/test_functional_units.dir/test_functional_units.cc.o.d"
+  "test_functional_units"
+  "test_functional_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

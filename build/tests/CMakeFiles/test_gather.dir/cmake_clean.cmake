@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gather.dir/test_gather.cc.o"
+  "CMakeFiles/test_gather.dir/test_gather.cc.o.d"
+  "test_gather"
+  "test_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

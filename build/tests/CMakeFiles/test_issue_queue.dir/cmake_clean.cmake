@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_issue_queue.dir/test_issue_queue.cc.o"
+  "CMakeFiles/test_issue_queue.dir/test_issue_queue.cc.o.d"
+  "test_issue_queue"
+  "test_issue_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_issue_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/test_kernel.cc.o"
+  "CMakeFiles/test_kernel.dir/test_kernel.cc.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmeans.dir/test_kmeans.cc.o"
+  "CMakeFiles/test_kmeans.dir/test_kmeans.cc.o.d"
+  "test_kmeans"
+  "test_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_store_queue.dir/test_load_store_queue.cc.o"
+  "CMakeFiles/test_load_store_queue.dir/test_load_store_queue.cc.o.d"
+  "test_load_store_queue"
+  "test_load_store_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_store_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_op.dir/test_micro_op.cc.o"
+  "CMakeFiles/test_micro_op.dir/test_micro_op.cc.o.d"
+  "test_micro_op"
+  "test_micro_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_detector.dir/test_online_detector.cc.o"
+  "CMakeFiles/test_online_detector.dir/test_online_detector.cc.o.d"
+  "test_online_detector"
+  "test_online_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

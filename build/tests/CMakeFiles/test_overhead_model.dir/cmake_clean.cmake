@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overhead_model.dir/test_overhead_model.cc.o"
+  "CMakeFiles/test_overhead_model.dir/test_overhead_model.cc.o.d"
+  "test_overhead_model"
+  "test_overhead_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overhead_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

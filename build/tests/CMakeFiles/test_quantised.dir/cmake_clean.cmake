@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantised.dir/test_quantised.cc.o"
+  "CMakeFiles/test_quantised.dir/test_quantised.cc.o.d"
+  "test_quantised"
+  "test_quantised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

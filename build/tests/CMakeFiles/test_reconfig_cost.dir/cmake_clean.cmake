@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconfig_cost.dir/test_reconfig_cost.cc.o"
+  "CMakeFiles/test_reconfig_cost.dir/test_reconfig_cost.cc.o.d"
+  "test_reconfig_cost"
+  "test_reconfig_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconfig_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_reconfig_cost.
+# This may be replaced when dependencies are built.

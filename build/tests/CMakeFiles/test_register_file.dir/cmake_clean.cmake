@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_file.dir/test_register_file.cc.o"
+  "CMakeFiles/test_register_file.dir/test_register_file.cc.o.d"
+  "test_register_file"
+  "test_register_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_distance.dir/test_reuse_distance.cc.o"
+  "CMakeFiles/test_reuse_distance.dir/test_reuse_distance.cc.o.d"
+  "test_reuse_distance"
+  "test_reuse_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

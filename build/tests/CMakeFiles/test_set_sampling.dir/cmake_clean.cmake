@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_sampling.dir/test_set_sampling.cc.o"
+  "CMakeFiles/test_set_sampling.dir/test_set_sampling.cc.o.d"
+  "test_set_sampling"
+  "test_set_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpoint.dir/test_simpoint.cc.o"
+  "CMakeFiles/test_simpoint.dir/test_simpoint.cc.o.d"
+  "test_simpoint"
+  "test_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

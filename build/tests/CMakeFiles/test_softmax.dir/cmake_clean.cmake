@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax.dir/test_softmax.cc.o"
+  "CMakeFiles/test_softmax.dir/test_softmax.cc.o.d"
+  "test_softmax"
+  "test_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_suite.dir/test_spec_suite.cc.o"
+  "CMakeFiles/test_spec_suite.dir/test_spec_suite.cc.o.d"
+  "test_spec_suite"
+  "test_spec_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

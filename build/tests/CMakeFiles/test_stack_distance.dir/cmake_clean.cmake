@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_distance.dir/test_stack_distance.cc.o"
+  "CMakeFiles/test_stack_distance.dir/test_stack_distance.cc.o.d"
+  "test_stack_distance"
+  "test_stack_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temporal_histogram.dir/test_temporal_histogram.cc.o"
+  "CMakeFiles/test_temporal_histogram.dir/test_temporal_histogram.cc.o.d"
+  "test_temporal_histogram"
+  "test_temporal_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temporal_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

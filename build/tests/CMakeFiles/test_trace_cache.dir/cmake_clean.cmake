@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_cache.dir/test_trace_cache.cc.o"
+  "CMakeFiles/test_trace_cache.dir/test_trace_cache.cc.o.d"
+  "test_trace_cache"
+  "test_trace_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

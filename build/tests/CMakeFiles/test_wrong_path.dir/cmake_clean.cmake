@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrong_path.dir/test_wrong_path.cc.o"
+  "CMakeFiles/test_wrong_path.dir/test_wrong_path.cc.o.d"
+  "test_wrong_path"
+  "test_wrong_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrong_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wrong_path.
+# This may be replaced when dependencies are built.
