@@ -86,6 +86,7 @@ main()
                             .c_str());
         }
     }
+    std::printf("cache: %s\n", repo.statsSummary().c_str());
     std::printf(
         "Paper observations: the optimal sizes vary over time, "
         "differ between widths (gap's RF: 113 -> 67 at width 4), "

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a
+# ThreadSanitizer pass over the concurrency-critical tests
+# (thread pool + shared simulation repository).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# TSan build preset (cmake -DADAPTSIM_SANITIZE=thread).  Skipped
+# gracefully where libtsan is unavailable.
+if echo 'int main(){return 0;}' |
+    c++ -fsanitize=thread -x c++ - -o /tmp/adaptsim_tsan_probe \
+        2>/dev/null; then
+    rm -f /tmp/adaptsim_tsan_probe
+    cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
+    cmake --build build-tsan -j \
+        --target test_thread_pool test_repository
+    ctest --test-dir build-tsan --output-on-failure \
+        -R 'test_thread_pool|test_repository'
+else
+    echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
+fi

@@ -64,4 +64,11 @@ numThreads()
     return hw ? hw : 1;
 }
 
+std::size_t
+flushEvery()
+{
+    const long n = envLong("ADAPTSIM_FLUSH_EVERY", 64);
+    return n > 0 ? static_cast<std::size_t>(n) : 1;
+}
+
 } // namespace adaptsim

@@ -6,6 +6,7 @@
 #ifndef ADAPTSIM_COMMON_ENV_HH
 #define ADAPTSIM_COMMON_ENV_HH
 
+#include <cstddef>
 #include <string>
 
 namespace adaptsim
@@ -28,6 +29,10 @@ std::string dataDir();
 
 /** ADAPTSIM_THREADS: evaluation threads (default hw concurrency). */
 unsigned numThreads();
+
+/** ADAPTSIM_FLUSH_EVERY: cache records buffered between incremental
+ *  flushes (default 64, minimum 1). */
+std::size_t flushEvery();
 
 } // namespace adaptsim
 

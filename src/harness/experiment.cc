@@ -6,6 +6,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "workload/spec_suite.hh"
 
 namespace adaptsim::harness
@@ -71,9 +72,8 @@ Experiment::prepare()
     for (std::size_t i = 0; i < phases_.size(); ++i)
         byProgram_[phases_[i].phase.workload].push_back(i);
 
-    inform("experiment: gather complete (",
-           repo_->simulationsRun(), " simulations run, ",
-           repo_->cacheHits(), " cache hits)");
+    inform("experiment: gather complete (", repo_->statsSummary(),
+           ")");
 }
 
 const std::vector<GatheredPhase> &
@@ -168,12 +168,12 @@ Experiment::computeModelResults(counters::FeatureSet set)
         for (const auto &p : predictions)
             results[p.phaseIdx].config = p.predicted;
 
-        std::ofstream out(loocvCachePath(set));
-        if (out) {
-            for (std::size_t i = 0; i < results.size(); ++i)
-                out << i << ',' << results[i].config.encode()
-                    << '\n';
-        }
+        std::ostringstream os;
+        for (std::size_t i = 0; i < results.size(); ++i)
+            os << i << ',' << results[i].config.encode() << '\n';
+        if (!atomicWriteFile(loocvCachePath(set), os.str()))
+            warn("cannot persist LOOCV predictions to ",
+                 loocvCachePath(set));
     }
 
     // Evaluate every prediction on its phase (cached simulations).

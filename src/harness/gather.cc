@@ -104,7 +104,18 @@ gatherTrainingData(EvalRepository &repo,
         g.features = repo.profile(g.spec);
 
         out.push_back(std::move(g));
+        // Phase boundaries are durable checkpoints: everything
+        // buffered by the incremental flusher is committed here.
         repo.flush();
+
+        if (options.progress) {
+            const std::size_t done = out.size();
+            const std::size_t step =
+                std::max<std::size_t>(1, phases.size() / 20);
+            if (done % step == 0 || done == phases.size())
+                inform("gather: ", done, "/", phases.size(),
+                       " phases (", repo.statsSummary(), ")");
+        }
     }
     return out;
 }

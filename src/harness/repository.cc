@@ -1,10 +1,16 @@
 #include "harness/repository.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "power/metrics.hh"
 #include "uarch/core.hh"
 
@@ -12,6 +18,65 @@ namespace adaptsim::harness
 {
 
 namespace fs = std::filesystem;
+
+namespace
+{
+
+// On-disk cache format: 24-byte header + fixed 72-byte records,
+// everything little-endian and checksummed (see repository.hh).
+constexpr char kMagic[8] = {'A', 'D', 'S', 'I', 'M', 'E', 'V', 'C'};
+constexpr std::uint64_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kRecordSize = 72;
+constexpr std::size_t kRecordPayload = kRecordSize - 8;
+
+std::string
+encodeHeader()
+{
+    std::string bytes(kMagic, sizeof(kMagic));
+    putU64(bytes, kVersion);
+    putU64(bytes, fnv1a64(bytes.data(), 16));
+    return bytes;
+}
+
+void
+encodeRecord(std::string &out, std::uint64_t code,
+             const EvalRecord &r)
+{
+    const std::size_t start = out.size();
+    putU64(out, code);
+    putDouble(out, r.cycles);
+    putDouble(out, r.instructions);
+    putDouble(out, r.seconds);
+    putDouble(out, r.joules);
+    putDouble(out, r.ipc);
+    putDouble(out, r.watts);
+    putDouble(out, r.efficiency);
+    putU64(out, fnv1a64(out.data() + start, kRecordPayload));
+}
+
+EvalRecord
+decodeRecord(const char *p)
+{
+    EvalRecord r;
+    r.cycles = getDouble(p + 8);
+    r.instructions = getDouble(p + 16);
+    r.seconds = getDouble(p + 24);
+    r.joules = getDouble(p + 32);
+    r.ipc = getDouble(p + 40);
+    r.watts = getDouble(p + 48);
+    r.efficiency = getDouble(p + 56);
+    return r;
+}
+
+bool
+hasMagic(const std::string &bytes)
+{
+    return bytes.size() >= sizeof(kMagic) &&
+           std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+} // namespace
 
 std::string
 PhaseSpec::key() const
@@ -25,7 +90,7 @@ PhaseSpec::key() const
 EvalRepository::EvalRepository(std::vector<workload::Workload> suite,
                                std::string data_dir, unsigned threads)
     : suite_(std::move(suite)), dataDir_(std::move(data_dir)),
-      pool_(threads)
+      pool_(threads), flushEvery_(adaptsim::flushEvery())
 {
     std::error_code ec;
     fs::create_directories(dataDir_, ec);
@@ -52,6 +117,12 @@ EvalRepository::workload(const std::string &name) const
 std::string
 EvalRepository::cachePath(const PhaseSpec &spec) const
 {
+    return dataDir_ + "/" + spec.key() + ".evc";
+}
+
+std::string
+EvalRepository::legacyCachePath(const PhaseSpec &spec) const
+{
     return dataDir_ + "/" + spec.key() + ".csv";
 }
 
@@ -61,15 +132,69 @@ EvalRepository::profilePath(const PhaseSpec &spec) const
     return dataDir_ + "/" + spec.key() + ".features";
 }
 
-void
-EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
+bool
+EvalRepository::loadBinaryCache(const std::string &path,
+                                const std::string &bytes,
+                                PhaseCache &cache)
 {
-    cache.loaded = true;
-    std::ifstream in(cachePath(spec));
-    if (!in)
-        return;
+    if (bytes.empty())
+        return false;
+    if (!hasMagic(bytes) || bytes.size() < kHeaderSize) {
+        warn("cache ", path,
+             ": unrecognised header; ignoring file (records will "
+             "be re-simulated)");
+        return false;
+    }
+    const std::uint64_t version = getU64(bytes.data() + 8);
+    const std::uint64_t check = getU64(bytes.data() + 16);
+    if (check != fnv1a64(bytes.data(), 16)) {
+        warn("cache ", path,
+             ": corrupt header checksum; regenerating");
+        return false;
+    }
+    if (version != kVersion) {
+        warn("cache ", path, ": format version ", version,
+             " (expected ", kVersion, "); regenerating");
+        return false;
+    }
+
+    std::size_t off = kHeaderSize;
+    std::size_t bad = 0;
+    std::size_t count = 0;
+    while (off + kRecordSize <= bytes.size()) {
+        const char *p = bytes.data() + off;
+        off += kRecordSize;
+        if (getU64(p + kRecordPayload) !=
+            fnv1a64(p, kRecordPayload)) {
+            ++bad;
+            continue;
+        }
+        if (cache.records.emplace(getU64(p), decodeRecord(p)).second)
+            ++count;
+    }
+    const std::size_t tail = bytes.size() - off;
+    if (bad > 0 || tail > 0) {
+        warn("cache ", path, ": dropped ", bad,
+             " corrupt record(s) and ", tail,
+             " torn tail byte(s); they will be re-simulated");
+        dropped_ += bad + (tail > 0 ? 1 : 0);
+    }
+    loaded_ += count;
+    return true;
+}
+
+void
+EvalRepository::loadLegacyCsv(const std::string &path,
+                              const std::string &bytes,
+                              PhaseCache &cache)
+{
+    std::istringstream in(bytes);
     std::string line;
+    std::size_t adopted = 0;
+    std::size_t bad = 0;
     while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
         std::istringstream ls(line);
         std::uint64_t code;
         EvalRecord r;
@@ -78,8 +203,55 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
             r.instructions >> comma >> r.seconds >> comma >>
             r.joules >> comma >> r.ipc >> comma >> r.watts >>
             comma >> r.efficiency) {
-            cache.records[code] = r;
+            // The exact-format file wins when both know a config.
+            if (cache.records.emplace(code, r).second) {
+                cache.unsaved.emplace_back(code, r);
+                ++unsavedTotal_;
+                ++adopted;
+            }
+        } else {
+            ++bad;
         }
+    }
+    if (bad > 0) {
+        warn("cache ", path, ": dropped ", bad,
+             " malformed line(s); those records will be "
+             "re-simulated");
+        dropped_ += bad;
+    }
+    migrated_ += adopted;
+    cache.legacyPending = true;
+}
+
+void
+EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
+{
+    cache.loaded = true;
+    const std::string path = cachePath(spec);
+    cache.haveBinaryFile =
+        loadBinaryCache(path, readFile(path), cache);
+
+    // Legacy (pre-format) cache: sniff the header, adopt whatever
+    // records the new file does not already have, and queue them so
+    // the next flush rewrites them in the new format.
+    const std::string legacy = legacyCachePath(spec);
+    const std::string legacy_bytes = readFile(legacy);
+    if (legacy_bytes.empty())
+        return;
+    if (hasMagic(legacy_bytes)) {
+        PhaseCache tmp;
+        if (loadBinaryCache(legacy, legacy_bytes, tmp)) {
+            for (const auto &[code, r] : tmp.records) {
+                if (cache.records.emplace(code, r).second) {
+                    cache.unsaved.emplace_back(code, r);
+                    ++unsavedTotal_;
+                    ++migrated_;
+                }
+            }
+            cache.legacyPending = true;
+        }
+    } else {
+        loadLegacyCsv(legacy, legacy_bytes, cache);
     }
 }
 
@@ -143,14 +315,27 @@ EvalRepository::evaluate(const PhaseSpec &spec,
         }
     }
 
+    const auto t0 = std::chrono::steady_clock::now();
     const EvalRecord r = simulate(spec, config);
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
 
     std::lock_guard<std::mutex> lock(mutex_);
-    auto &cache = cacheFor(spec);
-    cache.records[code] = r;
-    cache.unsaved.emplace_back(code, r);
+    simSeconds_ += secs;
     ++simulated_;
-    return r;
+    auto &cache = cacheFor(spec);
+    // Two threads may race to simulate the same config (simulation
+    // is deterministic, so both results are identical); only the
+    // first insert is queued for persistence.
+    const auto [it, inserted] = cache.records.emplace(code, r);
+    if (inserted) {
+        cache.unsaved.emplace_back(code, r);
+        if (++unsavedTotal_ >= flushEvery_)
+            flushLocked();
+    }
+    return it->second;
 }
 
 std::vector<EvalRecord>
@@ -158,6 +343,10 @@ EvalRepository::evaluateBatch(
     const PhaseSpec &spec,
     const std::vector<space::Configuration> &configs)
 {
+    // Concurrent gathers may share one repository; the pool runs one
+    // batch at a time, so callers queue here rather than racing into
+    // parallelFor.
+    std::lock_guard<std::mutex> batch(batchMutex_);
     std::vector<EvalRecord> out(configs.size());
     pool_.parallelFor(configs.size(), [&](std::size_t i) {
         out[i] = evaluate(spec, configs[i]);
@@ -171,8 +360,10 @@ EvalRepository::profile(const PhaseSpec &spec)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = profiles_.find(spec.key());
-        if (it != profiles_.end())
+        if (it != profiles_.end()) {
+            ++hits_;
             return it->second;
+        }
     }
 
     // Try the disk cache.
@@ -192,6 +383,7 @@ EvalRepository::profile(const PhaseSpec &spec)
             };
             if (read_line(rec.basic) && read_line(rec.advanced)) {
                 std::lock_guard<std::mutex> lock(mutex_);
+                ++hits_;
                 profiles_[spec.key()] = rec;
                 return rec;
             }
@@ -199,6 +391,7 @@ EvalRepository::profile(const PhaseSpec &spec)
     }
 
     // Run the profiling configuration with the counter bank.
+    const auto t0 = std::chrono::steady_clock::now();
     const auto &wl = workload(spec.workload);
     workload::WrongPathGenerator wrong_path(wl.averageParams(),
                                             wl.seed() ^ 0x57a71cULL);
@@ -224,24 +417,30 @@ EvalRepository::profile(const PhaseSpec &spec)
         bank, counters::FeatureSet::Basic);
     rec.advanced = counters::assembleFeatures(
         bank, counters::FeatureSet::Advanced);
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
 
-    // Persist.
+    // Persist atomically; 17 significant digits round-trip doubles
+    // exactly through the decimal text format.
     {
-        std::ofstream out(profilePath(spec));
-        if (out) {
-            out.precision(10);
-            for (double v : rec.basic)
-                out << v << ' ';
-            out << '\n';
-            for (double v : rec.advanced)
-                out << v << ' ';
-            out << '\n';
-        }
+        std::ostringstream os;
+        os.precision(17);
+        for (double v : rec.basic)
+            os << v << ' ';
+        os << '\n';
+        for (double v : rec.advanced)
+            os << v << ' ';
+        os << '\n';
+        if (!atomicWriteFile(profilePath(spec), os.str()))
+            warn("cannot persist profile for ", spec.key());
     }
 
     std::lock_guard<std::mutex> lock(mutex_);
     profiles_[spec.key()] = rec;
     ++simulated_;
+    simSeconds_ += secs;
     return rec;
 }
 
@@ -249,24 +448,89 @@ void
 EvalRepository::flush()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    flushLocked();
+}
+
+void
+EvalRepository::flushLocked()
+{
     for (auto &[key, cache] : caches_) {
-        if (cache.unsaved.empty())
+        if (cache.unsaved.empty() && !cache.legacyPending)
             continue;
-        std::ofstream out(dataDir_ + "/" + key + ".csv",
-                          std::ios::app);
-        if (!out) {
+        const std::string path = dataDir_ + "/" + key + ".evc";
+        bool ok;
+        std::size_t written;
+        if (!cache.haveBinaryFile) {
+            // No valid new-format file yet: create one atomically
+            // with everything known (first write or migration).
+            std::string bytes = encodeHeader();
+            for (const auto &[code, r] : cache.records)
+                encodeRecord(bytes, code, r);
+            written = cache.records.size();
+            ok = atomicWriteFile(path, bytes);
+            if (ok)
+                cache.haveBinaryFile = true;
+        } else {
+            // Extend the existing file; fsync makes the appended
+            // records durable, and a torn append only costs the
+            // torn record its checksum.
+            std::string bytes;
+            for (const auto &[code, r] : cache.unsaved)
+                encodeRecord(bytes, code, r);
+            written = cache.unsaved.size();
+            ok = bytes.empty() || appendFileSync(path, bytes);
+        }
+        if (!ok) {
             warn("cannot persist cache for ", key);
             continue;
         }
-        out.precision(12);
-        for (const auto &[code, r] : cache.unsaved) {
-            out << code << ',' << r.cycles << ',' << r.instructions
-                << ',' << r.seconds << ',' << r.joules << ','
-                << r.ipc << ',' << r.watts << ',' << r.efficiency
-                << '\n';
-        }
+        flushed_ += written;
+        unsavedTotal_ -= cache.unsaved.size();
         cache.unsaved.clear();
+        if (cache.legacyPending) {
+            std::error_code ec;
+            fs::remove(dataDir_ + "/" + key + ".csv", ec);
+            cache.legacyPending = false;
+        }
     }
+}
+
+CacheStats
+EvalRepository::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = simulated_;
+    s.loaded = loaded_;
+    s.flushed = flushed_;
+    s.migrated = migrated_;
+    s.dropped = dropped_;
+    s.simSeconds = simSeconds_;
+    return s;
+}
+
+std::string
+EvalRepository::statsSummary() const
+{
+    const CacheStats s = stats();
+    std::ostringstream os;
+    os << s.hits << " hits, " << s.misses << " simulated ("
+       << std::fixed << std::setprecision(1) << s.simSeconds
+       << "s), " << s.loaded << " loaded, " << s.flushed
+       << " flushed";
+    if (s.migrated > 0)
+        os << ", " << s.migrated << " migrated";
+    if (s.dropped > 0)
+        os << ", " << s.dropped << " dropped";
+    return os.str();
+}
+
+void
+EvalRepository::setFlushEvery(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flushEvery_ = std::max<std::size_t>(1, n);
 }
 
 } // namespace adaptsim::harness

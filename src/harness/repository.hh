@@ -3,10 +3,21 @@
  * Disk-cached simulation repository.
  *
  * Every (phase, configuration) simulation result is memoised in
- * memory and persisted as CSV under ADAPTSIM_DATA_DIR, so the
- * expensive Sec. V-C training-data gather runs once and every bench
- * reuses it.  Profiling runs (with the counter bank attached) are
- * cached the same way as serialized feature vectors.
+ * memory and persisted under ADAPTSIM_DATA_DIR, so the expensive
+ * Sec. V-C training-data gather runs once and every bench reuses it.
+ * Profiling runs (with the counter bank attached) are cached the same
+ * way as serialized feature vectors.
+ *
+ * On-disk format (one `<key>.evc` file per PhaseSpec): a 24-byte
+ * header (8-byte magic "ADSIMEVC", little-endian u64 version,
+ * FNV-1a checksum of the first 16 bytes) followed by fixed-size
+ * 72-byte records — config code (u64), the seven EvalRecord doubles
+ * bit-exact, and a per-record FNV-1a checksum.  Files are created by
+ * atomic rename and extended by append+fsync, so completed records
+ * survive a `kill -9` at any point; a torn tail or corrupt record
+ * fails its checksum and is simply re-simulated.  Pre-format CSV
+ * caches (`<key>.csv`) are detected by header sniffing, merged in,
+ * and rewritten in the new format on the next flush.
  */
 
 #ifndef ADAPTSIM_HARNESS_REPOSITORY_HH
@@ -57,6 +68,18 @@ struct ProfileRecord
     std::vector<double> advanced;
 };
 
+/** Running counters of repository activity (see stats()). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;        ///< served from memory/disk cache
+    std::uint64_t misses = 0;      ///< simulations actually run
+    std::uint64_t loaded = 0;      ///< records read from disk
+    std::uint64_t flushed = 0;     ///< records persisted this process
+    std::uint64_t migrated = 0;    ///< records adopted from legacy CSV
+    std::uint64_t dropped = 0;     ///< malformed/corrupt records skipped
+    double simSeconds = 0.0;       ///< wall time spent simulating
+};
+
 /** Memoising simulation evaluator shared by all benches. */
 class EvalRepository
 {
@@ -83,7 +106,8 @@ class EvalRepository
     /** Profiling-configuration run with counters (cached). */
     ProfileRecord profile(const PhaseSpec &spec);
 
-    /** Persist any unsaved results now. */
+    /** Persist any unsaved results now (also runs every
+     *  flushEvery() new records; see ADAPTSIM_FLUSH_EVERY). */
     void flush();
 
     const workload::Workload &workload(const std::string &name) const;
@@ -91,12 +115,26 @@ class EvalRepository
     std::uint64_t simulationsRun() const { return simulated_; }
     std::uint64_t cacheHits() const { return hits_; }
 
+    /** Snapshot of the activity counters. */
+    CacheStats stats() const;
+
+    /** One-line human-readable stats() rendering for progress. */
+    std::string statsSummary() const;
+
+    /** Records buffered between flushes (default from env). */
+    std::size_t flushEvery() const { return flushEvery_; }
+    void setFlushEvery(std::size_t n);
+
   private:
     struct PhaseCache
     {
         std::unordered_map<std::uint64_t, EvalRecord> records;
         std::vector<std::pair<std::uint64_t, EvalRecord>> unsaved;
         bool loaded = false;
+        /** A valid new-format file exists on disk (append mode). */
+        bool haveBinaryFile = false;
+        /** Legacy CSV to delete once its records are re-persisted. */
+        bool legacyPending = false;
     };
 
     /** Run the real simulation (no caching). */
@@ -105,18 +143,36 @@ class EvalRepository
 
     PhaseCache &cacheFor(const PhaseSpec &spec);
     void loadCache(const PhaseSpec &spec, PhaseCache &cache);
+    bool loadBinaryCache(const std::string &path,
+                         const std::string &bytes,
+                         PhaseCache &cache);
+    void loadLegacyCsv(const std::string &path,
+                       const std::string &bytes, PhaseCache &cache);
+    void flushLocked();
     std::string cachePath(const PhaseSpec &spec) const;
+    std::string legacyCachePath(const PhaseSpec &spec) const;
     std::string profilePath(const PhaseSpec &spec) const;
 
     std::vector<workload::Workload> suite_;
     std::string dataDir_;
     ThreadPool pool_;
 
-    std::mutex mutex_;
+    /** Serializes evaluateBatch calls from distinct user threads so
+     *  concurrent gathers can share one repository. */
+    std::mutex batchMutex_;
+
+    mutable std::mutex mutex_;
     std::unordered_map<std::string, PhaseCache> caches_;
     std::unordered_map<std::string, ProfileRecord> profiles_;
+    std::size_t flushEvery_;
+    std::size_t unsavedTotal_ = 0;
     std::uint64_t simulated_ = 0;
     std::uint64_t hits_ = 0;
+    std::uint64_t loaded_ = 0;
+    std::uint64_t flushed_ = 0;
+    std::uint64_t migrated_ = 0;
+    std::uint64_t dropped_ = 0;
+    double simSeconds_ = 0.0;
 };
 
 } // namespace adaptsim::harness

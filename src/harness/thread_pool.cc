@@ -1,7 +1,31 @@
 #include "harness/thread_pool.hh"
 
+#include <stdexcept>
+
 namespace adaptsim::harness
 {
+
+namespace
+{
+
+/** Pool whose job the current thread is executing, if any. */
+thread_local const ThreadPool *tls_running_pool = nullptr;
+
+/** RAII marker for "this thread is running jobs of pool p".
+ *  Restores the previous marker so nested use of *distinct* pools
+ *  (inline or pooled) keeps reentrancy detection correct. */
+struct RunningScope
+{
+    explicit RunningScope(const ThreadPool *p)
+        : prev(tls_running_pool)
+    {
+        tls_running_pool = p;
+    }
+    ~RunningScope() { tls_running_pool = prev; }
+    const ThreadPool *prev;
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
     : threads_(threads)
@@ -24,12 +48,40 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+std::size_t
+ThreadPool::runJobs(const std::function<void(std::size_t)> &fn,
+                    std::size_t n)
+{
+    std::size_t claimed = 0;
+    for (;;) {
+        const std::size_t i =
+            nextIndex_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        ++claimed;
+        // After a failure, drain the remaining claims without
+        // running them so remaining_ still reaches zero.
+        if (abort_.load(std::memory_order_relaxed))
+            continue;
+        try {
+            fn(i);
+        } catch (...) {
+            abort_.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+    return claimed;
+}
+
 void
 ThreadPool::workerLoop()
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
         const std::function<void(std::size_t)> *job = nullptr;
+        std::size_t n = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
@@ -39,21 +91,22 @@ ThreadPool::workerLoop()
                 return;
             seen_generation = generation_;
             job = job_;
+            n = jobSize_;
         }
+        // A spurious/late wake-up can observe a batch that already
+        // completed and was cleared; there is nothing left to claim.
+        if (!job)
+            continue;
 
-        std::size_t local_done = 0;
-        for (;;) {
-            const std::size_t i =
-                nextIndex_.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobSize_)
-                break;
-            (*job)(i);
-            ++local_done;
+        std::size_t claimed = 0;
+        {
+            RunningScope scope(this);
+            claimed = runJobs(*job, n);
         }
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            remaining_ -= local_done;
+            remaining_ -= claimed;
             if (remaining_ == 0)
                 done_.notify_all();
         }
@@ -64,27 +117,44 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    if (tls_running_pool == this)
+        throw std::logic_error(
+            "ThreadPool::parallelFor called from inside one of its "
+            "own jobs (reentrant use is not supported)");
     if (n == 0)
         return;
     if (threads_ <= 1 || n == 1) {
+        RunningScope scope(this);
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
+    // One batch at a time; concurrent external callers queue here.
+    std::lock_guard<std::mutex> submit(submitMutex_);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &fn;
         jobSize_ = n;
         nextIndex_.store(0, std::memory_order_relaxed);
+        abort_.store(false, std::memory_order_relaxed);
+        firstError_ = nullptr;
         remaining_ = n;
         ++generation_;
     }
     wake_.notify_all();
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return remaining_ == 0; });
-    job_ = nullptr;
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return remaining_ == 0; });
+        job_ = nullptr;
+        jobSize_ = 0;
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace adaptsim::harness

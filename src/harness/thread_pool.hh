@@ -2,6 +2,14 @@
  * @file
  * Minimal fixed-size thread pool with a blocking parallel-for, used
  * to spread independent simulations over cores.
+ *
+ * Failure semantics: if a job throws, no further unstarted indices
+ * are run, the first exception is captured and rethrown on the
+ * calling thread once every in-flight job has drained, and the pool
+ * remains usable for subsequent batches.  Calling parallelFor from
+ * inside one of the pool's own jobs (reentrant use) throws
+ * std::logic_error; concurrent calls from distinct external threads
+ * are safe and simply serialize.
  */
 
 #ifndef ADAPTSIM_HARNESS_THREAD_POOL_HH
@@ -9,6 +17,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,6 +40,12 @@ class ThreadPool
     /**
      * Run fn(0) … fn(n-1) across the pool; blocks until all done.
      * fn must be safe to call concurrently for distinct indices.
+     *
+     * @throws std::logic_error on reentrant use (fn calling back
+     *         into parallelFor on the same pool).
+     * @throws the first exception any job threw, after all running
+     *         jobs have drained; remaining unstarted indices are
+     *         skipped.  The pool stays usable afterwards.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -40,8 +55,15 @@ class ThreadPool
   private:
     void workerLoop();
 
+    /** Claim-and-run indices until exhausted; returns claim count. */
+    std::size_t runJobs(const std::function<void(std::size_t)> &fn,
+                        std::size_t n);
+
     unsigned threads_;
     std::vector<std::thread> workers_;
+
+    /** Serializes concurrent external parallelFor callers. */
+    std::mutex submitMutex_;
 
     std::mutex mutex_;
     std::condition_variable wake_;
@@ -49,7 +71,9 @@ class ThreadPool
     const std::function<void(std::size_t)> *job_ = nullptr;
     std::size_t jobSize_ = 0;
     std::atomic<std::size_t> nextIndex_{0};
+    std::atomic<bool> abort_{false};
     std::size_t remaining_ = 0;
+    std::exception_ptr firstError_;
     std::uint64_t generation_ = 0;
     bool stopping_ = false;
 };

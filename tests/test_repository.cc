@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "common/rng.hh"
+#include "common/serial.hh"
 #include "harness/gather.hh"
 #include "harness/repository.hh"
 #include "space/sampling.hh"
@@ -41,8 +45,26 @@ class RepositoryTest : public ::testing::Test
         return PhaseSpec{"gzip", 60000, 20000, 2000, 1500};
     }
 
+    std::string
+    binPath() const
+    {
+        return dir_ + "/" + spec().key() + ".evc";
+    }
+
+    std::string
+    csvPath() const
+    {
+        return dir_ + "/" + spec().key() + ".csv";
+    }
+
     std::string dir_;
 };
+
+bool
+bitIdentical(const EvalRecord &a, const EvalRecord &b)
+{
+    return std::memcmp(&a, &b, sizeof(EvalRecord)) == 0;
+}
 
 } // namespace
 
@@ -129,6 +151,170 @@ TEST_F(RepositoryTest, DistinctSpecsAreDistinctEntries)
     (void)repo.evaluate(spec(), paperBaselineConfig());
     (void)repo.evaluate(other, paperBaselineConfig());
     EXPECT_EQ(repo.simulationsRun(), 2u);
+}
+
+TEST_F(RepositoryTest, CacheHitIsBitIdenticalToFreshSimulation)
+{
+    EvalRecord fresh;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        fresh = repo.evaluate(spec(), paperBaselineConfig());
+    }   // destructor flushes
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto cached = repo.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo.simulationsRun(), 0u);
+    EXPECT_EQ(repo.cacheHits(), 1u);
+    EXPECT_TRUE(bitIdentical(fresh, cached));
+}
+
+TEST_F(RepositoryTest, IncrementalFlushPersistsBeforeShutdown)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    repo.setFlushEvery(1);
+    const auto fresh = repo.evaluate(spec(), paperBaselineConfig());
+
+    // With the first repository still alive (never explicitly
+    // flushed), a second one already sees the record on disk.
+    EvalRepository other(workload::specSuite(60000), dir_, 0);
+    const auto cached =
+        other.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(other.simulationsRun(), 0u);
+    EXPECT_TRUE(bitIdentical(fresh, cached));
+    EXPECT_GE(repo.stats().flushed, 1u);
+}
+
+TEST_F(RepositoryTest, InterruptedFlushKeepsCompletedRecords)
+{
+    Rng rng(11);
+    const auto configs = space::uniformRandomSet(rng, 3);
+    std::vector<EvalRecord> fresh;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        for (const auto &cfg : configs)
+            fresh.push_back(repo.evaluate(spec(), cfg));
+        repo.flush();
+    }
+
+    // Simulate a gather killed mid-write: a full-size record of
+    // garbage (checksum cannot match), a torn partial append, and
+    // an orphaned temp file from an interrupted atomic rewrite.
+    ASSERT_TRUE(appendFileSync(binPath(), std::string(72, '\xab')));
+    ASSERT_TRUE(appendFileSync(binPath(), "torn-tail"));
+    ASSERT_TRUE(atomicWriteFile(binPath() + ".orphan", "junk"));
+    std::ofstream(binPath() + ".tmp") << "partial";
+
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto cached = repo.evaluate(spec(), configs[i]);
+        EXPECT_TRUE(bitIdentical(fresh[i], cached));
+    }
+    EXPECT_EQ(repo.simulationsRun(), 0u);
+    const auto s = repo.stats();
+    EXPECT_EQ(s.loaded, configs.size());
+    EXPECT_EQ(s.dropped, 2u);   // corrupt record + torn tail
+}
+
+TEST_F(RepositoryTest, CorruptHeaderRegeneratesCache)
+{
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        (void)repo.evaluate(spec(), paperBaselineConfig());
+    }
+    {
+        // Clobber the magic; the file must be ignored, not trusted.
+        std::fstream f(binPath(),
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        f.put('X');
+    }
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto r = repo.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo.simulationsRun(), 1u);
+    EXPECT_GT(r.efficiency, 0.0);
+
+    // The regenerated file is valid again after flush.
+    repo.flush();
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    (void)repo2.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
+}
+
+TEST_F(RepositoryTest, LegacyCsvIsMigratedToExactFormat)
+{
+    const std::uint64_t code = paperBaselineConfig().encode();
+    std::filesystem::create_directories(dir_);
+    std::ofstream(csvPath())
+        << code << ",100,1500,0.5,0.25,1.5,2.5,42\n";
+
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto r = repo.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo.simulationsRun(), 0u);
+    EXPECT_EQ(repo.cacheHits(), 1u);
+    EXPECT_EQ(r.efficiency, 42.0);
+    EXPECT_EQ(repo.stats().migrated, 1u);
+
+    repo.flush();
+    EXPECT_TRUE(std::filesystem::exists(binPath()));
+    EXPECT_FALSE(std::filesystem::exists(csvPath()));
+
+    // The migrated record survives in the new format, bit-exact.
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    const auto again =
+        repo2.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
+    EXPECT_TRUE(bitIdentical(r, again));
+}
+
+TEST_F(RepositoryTest, MalformedLegacyLinesAreDroppedIndividually)
+{
+    Rng rng(3);
+    const auto configs = space::uniformRandomSet(rng, 2);
+    std::filesystem::create_directories(dir_);
+    std::ofstream(csvPath())
+        << configs[0].encode() << ",1,2,3,4,5,6,7\n"
+        << "garbled nonsense, not numbers\n"
+        << configs[1].encode() << ",7,6,5,4,3,2,1\n";
+
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    // Both well-formed records load — including the one *after* the
+    // malformed line — and only the bad line is dropped.
+    EXPECT_EQ(repo.evaluate(spec(), configs[0]).efficiency, 7.0);
+    EXPECT_EQ(repo.evaluate(spec(), configs[1]).efficiency, 1.0);
+    EXPECT_EQ(repo.simulationsRun(), 0u);
+    EXPECT_EQ(repo.stats().dropped, 1u);
+    EXPECT_EQ(repo.stats().migrated, 2u);
+}
+
+TEST_F(RepositoryTest, ConcurrentGathersShareOneRepository)
+{
+    EvalRepository repo(workload::specSuite(60000), dir_, 2);
+    repo.setFlushEvery(4);
+    Rng rng(7);
+    const auto configs = space::uniformRandomSet(rng, 8);
+    auto other = spec();
+    other.startInst = 30000;
+
+    std::vector<EvalRecord> r1, r2;
+    std::thread t1(
+        [&] { r1 = repo.evaluateBatch(spec(), configs); });
+    std::thread t2(
+        [&] { r2 = repo.evaluateBatch(other, configs); });
+    t1.join();
+    t2.join();
+
+    ASSERT_EQ(r1.size(), configs.size());
+    ASSERT_EQ(r2.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_GT(r1[i].efficiency, 0.0);
+        EXPECT_GT(r2[i].efficiency, 0.0);
+    }
+
+    // Re-running either batch is now pure cache hits, bit-exact.
+    const auto again = repo.evaluateBatch(spec(), configs);
+    const auto sims = repo.simulationsRun();
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        EXPECT_TRUE(bitIdentical(again[i], r1[i]));
+    EXPECT_EQ(repo.simulationsRun(), sims);
 }
 
 TEST_F(RepositoryTest, UnknownWorkloadIsFatal)

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "harness/thread_pool.hh"
@@ -65,4 +67,112 @@ TEST(ThreadPool, SingleTaskRunsInline)
     std::atomic<int> count{0};
     pool.parallelFor(1, [&](std::size_t) { ++count; });
     EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, JobExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionSkipsUnstartedWork)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(10000,
+                                  [&](std::size_t) {
+                                      ++ran;
+                                      throw std::runtime_error(
+                                          "first job fails");
+                                  }),
+                 std::runtime_error);
+    // Only jobs already claimed when the failure hit may have run.
+    EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(ThreadPool, PoolUsableAfterException)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallelFor(50,
+                                  [&](std::size_t) {
+                                      throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+
+    std::atomic<long> total{0};
+    pool.parallelFor(1000, [&](std::size_t i) { total += long(i); });
+    EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, InlineExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(5,
+                                  [&](std::size_t i) {
+                                      if (i == 2)
+                                          throw std::runtime_error(
+                                              "inline");
+                                  }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallelFor(5, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, ReentrantUseIsRejected)
+{
+    ThreadPool pool(2);
+    // The inner call throws std::logic_error inside the job, which
+    // the pool surfaces on the calling thread.
+    EXPECT_THROW(pool.parallelFor(
+                     4,
+                     [&](std::size_t) {
+                         pool.parallelFor(2, [](std::size_t) {});
+                     }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, ReentrantUseIsRejectedInline)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     2,
+                     [&](std::size_t) {
+                         pool.parallelFor(2, [](std::size_t) {});
+                     }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, NestedUseOfDistinctPoolsIsAllowed)
+{
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    std::atomic<int> count{0};
+    outer.parallelFor(4, [&](std::size_t) {
+        inner.parallelFor(8, [&](std::size_t) { ++count; });
+    });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerialize)
+{
+    ThreadPool pool(4);
+    std::atomic<long> a{0};
+    std::atomic<long> b{0};
+    std::thread t1([&] {
+        pool.parallelFor(500, [&](std::size_t i) { a += long(i); });
+    });
+    std::thread t2([&] {
+        pool.parallelFor(500, [&](std::size_t i) { b += long(i); });
+    });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(a.load(), 499L * 500 / 2);
+    EXPECT_EQ(b.load(), 499L * 500 / 2);
 }
