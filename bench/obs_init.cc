@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Shared bench init hook: compiled into every bench binary so each
+ * one reads the ADAPTSIM_METRICS / ADAPTSIM_TRACE env knobs and gets
+ * the obs exit summary without touching its main().
+ */
+
+#include "obs/obs.hh"
+
+namespace
+{
+
+const bool obs_initialized = [] {
+    adaptsim::obs::initFromEnv();
+    return true;
+}();
+
+} // namespace

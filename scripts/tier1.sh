@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a
 # ThreadSanitizer pass over the concurrency-critical tests
-# (thread pool + shared simulation repository).
+# (thread pool, shared simulation repository, metrics registry),
+# then a -DADAPTSIM_OBS=OFF build proving the instrumentation
+# compiles out cleanly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,9 +19,17 @@ if echo 'int main(){return 0;}' |
     rm -f /tmp/adaptsim_tsan_probe
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
-        --target test_thread_pool test_repository
+        --target test_thread_pool test_repository test_obs
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_thread_pool|test_repository'
+        -R 'test_thread_pool|test_repository|test_obs'
 else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi
+
+# Compile-out check: with ADAPTSIM_OBS=OFF the OBS_* macros vanish
+# from every call site; the library, a bench, and the obs unit
+# tests must still build and pass.
+cmake -B build-noobs -S . -DADAPTSIM_OBS=OFF
+cmake --build build-noobs -j \
+    --target test_obs table3_baseline_static
+ctest --test-dir build-noobs --output-on-failure -R 'test_obs'

@@ -71,4 +71,33 @@ flushEvery()
     return n > 0 ? static_cast<std::size_t>(n) : 1;
 }
 
+bool
+metricsEnabled()
+{
+    const std::string v = envString("ADAPTSIM_METRICS", "1");
+    return v != "0" && v != "off";
+}
+
+std::string
+metricsJsonPath()
+{
+    const std::string v = envString("ADAPTSIM_METRICS", "");
+    if (v.empty() || v == "0" || v == "off" || v == "1")
+        return "";
+    return v;
+}
+
+bool
+traceEnabled()
+{
+    const std::string v = envString("ADAPTSIM_TRACE", "");
+    return !v.empty() && v != "0" && v != "off";
+}
+
+std::string
+traceFile()
+{
+    return envString("ADAPTSIM_TRACE_FILE", "adaptsim_trace.json");
+}
+
 } // namespace adaptsim

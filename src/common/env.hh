@@ -34,6 +34,21 @@ unsigned numThreads();
  *  flushes (default 64, minimum 1). */
 std::size_t flushEvery();
 
+/** ADAPTSIM_METRICS: exit metrics summary.  Unset/"1" enables the
+ *  table; "0"/"off" disables it; any other value is additionally
+ *  treated as a path for a machine-readable JSON dump. */
+bool metricsEnabled();
+
+/** Path for the JSON metrics dump, empty when none requested. */
+std::string metricsJsonPath();
+
+/** ADAPTSIM_TRACE: truthy enables Chrome trace-event capture. */
+bool traceEnabled();
+
+/** ADAPTSIM_TRACE_FILE: trace output path
+ *  (default "adaptsim_trace.json"). */
+std::string traceFile();
+
 } // namespace adaptsim
 
 #endif // ADAPTSIM_COMMON_ENV_HH

@@ -6,6 +6,10 @@
  * fatal()  - the user supplied an impossible configuration; exits cleanly.
  * warn()   - something is approximated but usable.
  * inform() - plain status output.
+ *
+ * Every message is emitted as a single locked write of one
+ * pre-formatted line (lockedWrite()), so concurrent callers — and
+ * the obs sinks, which share the same writer — never interleave.
  */
 
 #ifndef ADAPTSIM_COMMON_LOGGING_HH
@@ -13,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -21,6 +26,14 @@ namespace adaptsim
 
 namespace detail
 {
+
+/** One mutex for every line-oriented writer in the process. */
+inline std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 inline void
 appendAll(std::ostringstream &)
@@ -46,12 +59,25 @@ concat(const Args &... args)
 
 } // namespace detail
 
+/**
+ * Write @p text to @p stream as one locked, flushed write, so
+ * concurrent loggers (and the obs sinks, which emit whole tables
+ * through here) never interleave at the stream level.
+ */
+inline void
+lockedWrite(std::FILE *stream, const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(detail::logMutex());
+    std::fputs(text.c_str(), stream);
+    std::fflush(stream);
+}
+
 /** Abort: an internal invariant was violated. */
 template <typename... Args>
 [[noreturn]] void
 panic(const Args &... args)
 {
-    std::fprintf(stderr, "panic: %s\n", detail::concat(args...).c_str());
+    lockedWrite(stderr, "panic: " + detail::concat(args...) + "\n");
     std::abort();
 }
 
@@ -60,7 +86,7 @@ template <typename... Args>
 [[noreturn]] void
 fatal(const Args &... args)
 {
-    std::fprintf(stderr, "fatal: %s\n", detail::concat(args...).c_str());
+    lockedWrite(stderr, "fatal: " + detail::concat(args...) + "\n");
     std::exit(1);
 }
 
@@ -69,7 +95,7 @@ template <typename... Args>
 void
 warn(const Args &... args)
 {
-    std::fprintf(stderr, "warn: %s\n", detail::concat(args...).c_str());
+    lockedWrite(stderr, "warn: " + detail::concat(args...) + "\n");
 }
 
 /** Plain status message. */
@@ -77,8 +103,7 @@ template <typename... Args>
 void
 inform(const Args &... args)
 {
-    std::fprintf(stdout, "info: %s\n", detail::concat(args...).c_str());
-    std::fflush(stdout);
+    lockedWrite(stdout, "info: " + detail::concat(args...) + "\n");
 }
 
 } // namespace adaptsim

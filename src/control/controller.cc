@@ -1,5 +1,6 @@
 #include "control/controller.hh"
 
+#include "obs/obs.hh"
 #include "power/metrics.hh"
 
 namespace adaptsim::control
@@ -64,8 +65,11 @@ AdaptiveController::run(std::uint64_t max_instructions)
             // Stage 2: profile the new phase on the profiling
             // configuration, gathering the Table II counters.
             counters::CounterBank bank(profiling_cc);
-            const auto prof =
-                profiling_core.run(trace, &bank);
+            uarch::SimResult prof;
+            {
+                OBS_SPAN("control/profile");
+                prof = profiling_core.run(trace, &bank);
+            }
             bank.finalise(prof.events);
             const auto m = power::computeMetrics(profiling_cc,
                                                  prof.events);
@@ -78,7 +82,10 @@ AdaptiveController::run(std::uint64_t max_instructions)
             // Stage 3: predict and remember.
             const auto x = counters::assembleFeatures(
                 bank, opt_.featureSet);
-            target = model_.predict(x);
+            {
+                OBS_SPAN("control/predict");
+                target = model_.predict(x);
+            }
             predictions_[obs.phaseId] = target;
         } else {
             const auto it = predictions_.find(obs.phaseId);
@@ -102,6 +109,7 @@ AdaptiveController::run(std::uint64_t max_instructions)
             stats.seconds += double(penalty) *
                              current_cc.clockPeriodSec;
             ++stats.reconfigurations;
+            OBS_ONLY(OBS_COUNTER("control/reconfigurations").add(1);)
             just_reconfigured = true;
 
             current = target;

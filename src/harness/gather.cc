@@ -1,12 +1,94 @@
 #include "harness/gather.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "space/sampling.hh"
 
 namespace adaptsim::harness
 {
+
+namespace
+{
+
+/** Compact wall-time rendering for progress lines. */
+std::string
+prettySeconds(double s)
+{
+    char buf[32];
+    if (s < 90.0)
+        std::snprintf(buf, sizeof(buf), "%.1fs", s);
+    else
+        std::snprintf(buf, sizeof(buf), "%lum%02lus",
+                      static_cast<unsigned long>(s / 60.0),
+                      static_cast<unsigned long>(std::fmod(s, 60.0)));
+    return buf;
+}
+
+/** Gather evals + profiling features for one phase (Sec. V-C). */
+GatheredPhase
+gatherOnePhase(EvalRepository &repo,
+               const std::vector<space::Configuration> &shared,
+               const phase::Phase &ph,
+               std::uint64_t program_length,
+               std::uint64_t warm_length,
+               const GatherOptions &options)
+{
+    GatheredPhase g;
+    g.phase = ph;
+    g.spec = PhaseSpec{ph.workload, program_length,
+                       ph.startInst, warm_length,
+                       ph.lengthInsts};
+
+    // 1. Shared uniform sample.
+    auto evals = repo.evaluateBatch(g.spec, shared);
+    auto record = [&](const space::Configuration &cfg,
+                      const EvalRecord &r) {
+        g.evals.push_back(ml::ConfigEval{cfg, r.efficiency});
+    };
+    for (std::size_t i = 0; i < shared.size(); ++i)
+        record(shared[i], evals[i]);
+
+    auto best_of = [&]() {
+        const ml::ConfigEval *best = &g.evals.front();
+        for (const auto &e : g.evals) {
+            if (e.efficiency > best->efficiency)
+                best = &e;
+        }
+        return best->config;
+    };
+
+    // 2. Local neighbourhood of the best point found so far.
+    if (options.localNeighbours > 0) {
+        Rng rng(options.seed ^
+                (std::hash<std::string>{}(ph.workload) +
+                 ph.index * 0x9e37ULL));
+        const auto neighbours = space::localNeighbours(
+            rng, best_of(), options.localNeighbours);
+        const auto n_evals =
+            repo.evaluateBatch(g.spec, neighbours);
+        for (std::size_t i = 0; i < neighbours.size(); ++i)
+            record(neighbours[i], n_evals[i]);
+    }
+
+    // 3. One-at-a-time sweep around the refined best.
+    if (options.oneAtATimeSweep) {
+        const auto sweep = space::oneAtATimeSweep(best_of());
+        const auto s_evals = repo.evaluateBatch(g.spec, sweep);
+        for (std::size_t i = 0; i < sweep.size(); ++i)
+            record(sweep[i], s_evals[i]);
+    }
+
+    // 4. Profiling-configuration counters.
+    g.features = repo.profile(g.spec);
+    return g;
+}
+
+} // namespace
 
 ml::PhaseData
 GatheredPhase::toPhaseData(counters::FeatureSet set) const
@@ -54,67 +136,50 @@ gatherTrainingData(EvalRepository &repo,
     std::vector<GatheredPhase> out;
     out.reserve(phases.size());
 
+    const auto gather_t0 = std::chrono::steady_clock::now();
     for (const auto &ph : phases) {
-        GatheredPhase g;
-        g.phase = ph;
-        g.spec = PhaseSpec{ph.workload, program_length,
-                           ph.startInst, warm_length,
-                           ph.lengthInsts};
-
-        // 1. Shared uniform sample.
-        auto evals = repo.evaluateBatch(g.spec, shared);
-        auto record = [&](const space::Configuration &cfg,
-                          const EvalRecord &r) {
-            g.evals.push_back(ml::ConfigEval{cfg, r.efficiency});
-        };
-        for (std::size_t i = 0; i < shared.size(); ++i)
-            record(shared[i], evals[i]);
-
-        auto best_of = [&]() {
-            const ml::ConfigEval *best = &g.evals.front();
-            for (const auto &e : g.evals) {
-                if (e.efficiency > best->efficiency)
-                    best = &e;
-            }
-            return best->config;
-        };
-
-        // 2. Local neighbourhood of the best point found so far.
-        if (options.localNeighbours > 0) {
-            Rng rng(options.seed ^
-                    (std::hash<std::string>{}(ph.workload) +
-                     ph.index * 0x9e37ULL));
-            const auto neighbours = space::localNeighbours(
-                rng, best_of(), options.localNeighbours);
-            const auto n_evals =
-                repo.evaluateBatch(g.spec, neighbours);
-            for (std::size_t i = 0; i < neighbours.size(); ++i)
-                record(neighbours[i], n_evals[i]);
+        // The span scope closes before the progress line, so the
+        // per-phase sim-time histogram already includes this phase.
+        {
+            OBS_SPAN("gather/phase");
+            out.push_back(gatherOnePhase(repo, shared, ph,
+                                         program_length, warm_length,
+                                         options));
+            // Phase boundaries are durable checkpoints: everything
+            // buffered by the incremental flusher is committed here.
+            repo.flush();
         }
-
-        // 3. One-at-a-time sweep around the refined best.
-        if (options.oneAtATimeSweep) {
-            const auto sweep = space::oneAtATimeSweep(best_of());
-            const auto s_evals = repo.evaluateBatch(g.spec, sweep);
-            for (std::size_t i = 0; i < sweep.size(); ++i)
-                record(sweep[i], s_evals[i]);
-        }
-
-        // 4. Profiling-configuration counters.
-        g.features = repo.profile(g.spec);
-
-        out.push_back(std::move(g));
-        // Phase boundaries are durable checkpoints: everything
-        // buffered by the incremental flusher is committed here.
-        repo.flush();
 
         if (options.progress) {
             const std::size_t done = out.size();
             const std::size_t step =
                 std::max<std::size_t>(1, phases.size() / 20);
-            if (done % step == 0 || done == phases.size())
+            if (done % step == 0 || done == phases.size()) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        gather_t0)
+                        .count();
+                // ETA from the registry's per-phase sim-time
+                // histogram when instrumented, else from the
+                // elapsed-time average.
+                double mean_phase = elapsed / double(done);
+#if ADAPTSIM_OBS_ENABLED
+                if (const auto *hist =
+                        obs::Registry::global().findHistogram(
+                            "gather/phase.seconds")) {
+                    const auto st = hist->stats();
+                    if (st.count > 0)
+                        mean_phase = st.mean();
+                }
+#endif
+                const double eta =
+                    mean_phase * double(phases.size() - done);
                 inform("gather: ", done, "/", phases.size(),
-                       " phases (", repo.statsSummary(), ")");
+                       " phases (", repo.statsSummary(),
+                       "), elapsed ", prettySeconds(elapsed),
+                       ", eta ", prettySeconds(eta));
+            }
         }
     }
     return out;

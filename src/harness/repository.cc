@@ -11,6 +11,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "obs/obs.hh"
 #include "power/metrics.hh"
 #include "uarch/core.hh"
 
@@ -75,6 +76,35 @@ hasMagic(const std::string &bytes)
     return bytes.size() >= sizeof(kMagic) &&
            std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
 }
+
+#if ADAPTSIM_OBS_ENABLED
+
+/** Process-wide mirror of the per-instance CacheStats counters, so
+ *  the obs exit report and gather progress can source repository
+ *  activity from the registry. */
+struct RepoMetrics
+{
+    obs::Counter &hit = obs::Registry::global().counter("repo/hit");
+    obs::Counter &miss =
+        obs::Registry::global().counter("repo/miss");
+    obs::Counter &loaded =
+        obs::Registry::global().counter("repo/loaded");
+    obs::Counter &flushed =
+        obs::Registry::global().counter("repo/flushed");
+    obs::Counter &migrated =
+        obs::Registry::global().counter("repo/migrated");
+    obs::Counter &dropped =
+        obs::Registry::global().counter("repo/dropped");
+};
+
+RepoMetrics &
+repoMetrics()
+{
+    static RepoMetrics metrics;
+    return metrics;
+}
+
+#endif // ADAPTSIM_OBS_ENABLED
 
 } // namespace
 
@@ -178,8 +208,10 @@ EvalRepository::loadBinaryCache(const std::string &path,
              " corrupt record(s) and ", tail,
              " torn tail byte(s); they will be re-simulated");
         dropped_ += bad + (tail > 0 ? 1 : 0);
+        OBS_ONLY(repoMetrics().dropped.add(bad + (tail > 0 ? 1 : 0));)
     }
     loaded_ += count;
+    OBS_ONLY(repoMetrics().loaded.add(count);)
     return true;
 }
 
@@ -218,8 +250,10 @@ EvalRepository::loadLegacyCsv(const std::string &path,
              " malformed line(s); those records will be "
              "re-simulated");
         dropped_ += bad;
+        OBS_ONLY(repoMetrics().dropped.add(bad);)
     }
     migrated_ += adopted;
+    OBS_ONLY(repoMetrics().migrated.add(adopted);)
     cache.legacyPending = true;
 }
 
@@ -246,6 +280,7 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
                     cache.unsaved.emplace_back(code, r);
                     ++unsavedTotal_;
                     ++migrated_;
+                    OBS_ONLY(repoMetrics().migrated.add(1);)
                 }
             }
             cache.legacyPending = true;
@@ -311,16 +346,22 @@ EvalRepository::evaluate(const PhaseSpec &spec,
         const auto it = cache.records.find(code);
         if (it != cache.records.end()) {
             ++hits_;
+            OBS_ONLY(repoMetrics().hit.add(1);)
             return it->second;
         }
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const EvalRecord r = simulate(spec, config);
+    EvalRecord r;
+    {
+        OBS_SPAN("repo/simulate");
+        r = simulate(spec, config);
+    }
     const double secs =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
             .count();
+    OBS_ONLY(repoMetrics().miss.add(1);)
 
     std::lock_guard<std::mutex> lock(mutex_);
     simSeconds_ += secs;
@@ -362,6 +403,7 @@ EvalRepository::profile(const PhaseSpec &spec)
         const auto it = profiles_.find(spec.key());
         if (it != profiles_.end()) {
             ++hits_;
+            OBS_ONLY(repoMetrics().hit.add(1);)
             return it->second;
         }
     }
@@ -384,6 +426,7 @@ EvalRepository::profile(const PhaseSpec &spec)
             if (read_line(rec.basic) && read_line(rec.advanced)) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++hits_;
+                OBS_ONLY(repoMetrics().hit.add(1);)
                 profiles_[spec.key()] = rec;
                 return rec;
             }
@@ -391,6 +434,8 @@ EvalRepository::profile(const PhaseSpec &spec)
     }
 
     // Run the profiling configuration with the counter bank.
+    OBS_SPAN("repo/profile");
+    OBS_ONLY(repoMetrics().miss.add(1);)
     const auto t0 = std::chrono::steady_clock::now();
     const auto &wl = workload(spec.workload);
     workload::WrongPathGenerator wrong_path(wl.averageParams(),
@@ -485,6 +530,7 @@ EvalRepository::flushLocked()
             continue;
         }
         flushed_ += written;
+        OBS_ONLY(repoMetrics().flushed.add(written);)
         unsavedTotal_ -= cache.unsaved.size();
         cache.unsaved.clear();
         if (cache.legacyPending) {

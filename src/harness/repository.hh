@@ -68,7 +68,11 @@ struct ProfileRecord
     std::vector<double> advanced;
 };
 
-/** Running counters of repository activity (see stats()). */
+/** Running counters of repository activity (see stats()).  Every
+ *  increment is mirrored into the process-wide obs registry under
+ *  repo/hit, repo/miss, repo/loaded, repo/flushed, repo/migrated
+ *  and repo/dropped (plus the repo/simulate.seconds span histogram),
+ *  so the exit metrics report and traces see the same numbers. */
 struct CacheStats
 {
     std::uint64_t hits = 0;        ///< served from memory/disk cache

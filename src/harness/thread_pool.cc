@@ -1,12 +1,53 @@
 #include "harness/thread_pool.hh"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hh"
 
 namespace adaptsim::harness
 {
 
 namespace
 {
+
+#if ADAPTSIM_OBS_ENABLED
+
+/** Pool metrics, registered once per process.  Worker utilisation
+ *  is busy.micros / capacity.micros (capacity = batch wall time ×
+ *  participating workers), derived by the obs exit report. */
+struct PoolMetrics
+{
+    obs::Counter &batches =
+        obs::Registry::global().counter("pool/batches");
+    obs::Counter &jobs = obs::Registry::global().counter("pool/jobs");
+    obs::Counter &busyMicros =
+        obs::Registry::global().counter("pool/busy.micros");
+    obs::Counter &capacityMicros =
+        obs::Registry::global().counter("pool/capacity.micros");
+    obs::Histogram &batchSeconds = obs::spanHistogram("pool/batch");
+    obs::Histogram &jobSeconds = obs::spanHistogram("pool/job");
+    obs::Histogram &queueWaitSeconds =
+        obs::spanHistogram("pool/queue_wait");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics;
+    return metrics;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+#endif // ADAPTSIM_OBS_ENABLED
 
 /** Pool whose job the current thread is executing, if any. */
 thread_local const ThreadPool *tls_running_pool = nullptr;
@@ -34,7 +75,7 @@ ThreadPool::ThreadPool(unsigned threads)
         return;
     workers_.reserve(threads_);
     for (unsigned i = 0; i < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -63,6 +104,9 @@ ThreadPool::runJobs(const std::function<void(std::size_t)> &fn,
         // running them so remaining_ still reaches zero.
         if (abort_.load(std::memory_order_relaxed))
             continue;
+#if ADAPTSIM_OBS_ENABLED
+        const auto t0 = std::chrono::steady_clock::now();
+#endif
         try {
             fn(i);
         } catch (...) {
@@ -71,17 +115,32 @@ ThreadPool::runJobs(const std::function<void(std::size_t)> &fn,
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
+#if ADAPTSIM_OBS_ENABLED
+        auto &m = poolMetrics();
+        const double secs = secondsSince(t0);
+        m.jobSeconds.record(secs);
+        m.busyMicros.add(
+            static_cast<std::uint64_t>(secs * 1e6));
+#endif
     }
     return claimed;
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker_index)
 {
+#if ADAPTSIM_OBS_ENABLED
+    if (auto *writer = obs::TraceWriter::active())
+        writer->nameCurrentThread(
+            "pool-worker-" + std::to_string(worker_index));
+#else
+    (void)worker_index;
+#endif
     std::uint64_t seen_generation = 0;
     for (;;) {
         const std::function<void(std::size_t)> *job = nullptr;
         std::size_t n = 0;
+        std::chrono::steady_clock::time_point submitted;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
@@ -92,11 +151,17 @@ ThreadPool::workerLoop()
             seen_generation = generation_;
             job = job_;
             n = jobSize_;
+            submitted = batchSubmit_;
         }
         // A spurious/late wake-up can observe a batch that already
         // completed and was cleared; there is nothing left to claim.
         if (!job)
             continue;
+
+#if ADAPTSIM_OBS_ENABLED
+        poolMetrics().queueWaitSeconds.record(
+            std::max(0.0, secondsSince(submitted)));
+#endif
 
         std::size_t claimed = 0;
         {
@@ -123,10 +188,45 @@ ThreadPool::parallelFor(std::size_t n,
             "own jobs (reentrant use is not supported)");
     if (n == 0)
         return;
-    if (threads_ <= 1 || n == 1) {
+
+    const bool inline_run = threads_ <= 1 || n == 1;
+#if ADAPTSIM_OBS_ENABLED
+    // Record the batch on every exit path (including rethrow).
+    struct BatchGuard
+    {
+        std::chrono::steady_clock::time_point t0;
+        std::uint64_t workers;
+        std::size_t jobs;
+
+        ~BatchGuard()
+        {
+            auto &m = poolMetrics();
+            const double secs = secondsSince(t0);
+            m.batches.add(1);
+            m.jobs.add(jobs);
+            m.batchSeconds.record(secs);
+            m.capacityMicros.add(
+                static_cast<std::uint64_t>(secs * 1e6) * workers);
+        }
+    } batch_guard{std::chrono::steady_clock::now(),
+                  inline_run ? 1u : threads_, n};
+#endif
+
+    if (inline_run) {
         RunningScope scope(this);
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+#if ADAPTSIM_OBS_ENABLED
+            const auto t0 = std::chrono::steady_clock::now();
+#endif
             fn(i);
+#if ADAPTSIM_OBS_ENABLED
+            auto &m = poolMetrics();
+            const double secs = secondsSince(t0);
+            m.jobSeconds.record(secs);
+            m.busyMicros.add(
+                static_cast<std::uint64_t>(secs * 1e6));
+#endif
+        }
         return;
     }
 
@@ -136,6 +236,7 @@ ThreadPool::parallelFor(std::size_t n,
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &fn;
         jobSize_ = n;
+        batchSubmit_ = std::chrono::steady_clock::now();
         nextIndex_.store(0, std::memory_order_relaxed);
         abort_.store(false, std::memory_order_relaxed);
         firstError_ = nullptr;

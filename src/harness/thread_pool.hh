@@ -16,6 +16,7 @@
 #define ADAPTSIM_HARNESS_THREAD_POOL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -53,7 +54,7 @@ class ThreadPool
     unsigned numThreads() const { return threads_; }
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned worker_index);
 
     /** Claim-and-run indices until exhausted; returns claim count. */
     std::size_t runJobs(const std::function<void(std::size_t)> &fn,
@@ -70,6 +71,8 @@ class ThreadPool
     std::condition_variable done_;
     const std::function<void(std::size_t)> *job_ = nullptr;
     std::size_t jobSize_ = 0;
+    /** Batch publish time, for the queue-wait metric. */
+    std::chrono::steady_clock::time_point batchSubmit_;
     std::atomic<std::size_t> nextIndex_{0};
     std::atomic<bool> abort_{false};
     std::size_t remaining_ = 0;

@@ -1,5 +1,7 @@
 #include "uarch/core.hh"
 
+#include "obs/obs.hh"
+
 namespace adaptsim::uarch
 {
 
@@ -15,6 +17,7 @@ Core::Core(const CoreConfig &cfg,
 void
 Core::warm(std::span<const isa::MicroOp> trace)
 {
+    OBS_SPAN("uarch/warm");
     Addr last_line = invalidAddr;
     for (const auto &op : trace) {
         const Addr line = op.pc / CoreConfig::cacheLineBytes;
@@ -32,6 +35,7 @@ Core::warm(std::span<const isa::MicroOp> trace)
 SimResult
 Core::run(std::span<const isa::MicroOp> trace, SimObserver *observer)
 {
+    OBS_SPAN("uarch/run");
     Pipeline pipeline(cfg_, caches_, bpred_, wrongPath_, observer);
     return pipeline.run(trace);
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace adaptsim::uarch
 {
@@ -580,12 +581,51 @@ Pipeline::nextEventCycle() const
     return next;
 }
 
+#if ADAPTSIM_OBS_ENABLED
+namespace
+{
+
+/** Hot-loop counters are accumulated in EventCounts per cycle and
+ *  published to the registry once per run, so instrumentation adds
+ *  no per-cycle work even in the enabled build. */
+struct PipelineMetrics
+{
+    obs::Counter &cycles =
+        obs::Registry::global().counter("uarch/cycles");
+    obs::Counter &committedOps =
+        obs::Registry::global().counter("uarch/committed_ops");
+    obs::Counter &stallLoad =
+        obs::Registry::global().counter("uarch/stall.load.cycles");
+    obs::Counter &stallStore =
+        obs::Registry::global().counter("uarch/stall.store.cycles");
+    obs::Counter &stallFp =
+        obs::Registry::global().counter("uarch/stall.fp.cycles");
+    obs::Counter &stallDiv =
+        obs::Registry::global().counter("uarch/stall.div.cycles");
+    obs::Counter &stallOther =
+        obs::Registry::global().counter("uarch/stall.other.cycles");
+};
+
+PipelineMetrics &
+pipelineMetrics()
+{
+    static PipelineMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+#endif // ADAPTSIM_OBS_ENABLED
+
 SimResult
 Pipeline::run(std::span<const isa::MicroOp> trace)
 {
     trace_ = trace;
     traceIdx_ = 0;
     now_ = 0;
+
+    // ev_ accumulates across runs of one Pipeline; publish the
+    // per-run delta to the registry below.
+    OBS_ONLY(const EventCounts run_start = ev_;)
 
     const Cycles cycle_cap =
         500 * static_cast<Cycles>(trace.size()) + 100000;
@@ -602,7 +642,7 @@ Pipeline::run(std::span<const isa::MicroOp> trace)
         const bool c5 = fetchStage();
 
         static const bool trace_cycles =
-            std::getenv("ADAPTSIM_TRACE") != nullptr;
+            std::getenv("ADAPTSIM_CYCLE_TRACE") != nullptr;
         if (trace_cycles && now_ < 400) {
             std::fprintf(stderr,
                          "cyc%llu cmp=%d com=%d iss=%d dis=%d "
@@ -631,6 +671,17 @@ Pipeline::run(std::span<const isa::MicroOp> trace)
                   now_, " cycles, ", traceIdx_, "/", trace.size(),
                   " ops fetched");
     }
+
+#if ADAPTSIM_OBS_ENABLED
+    auto &m = pipelineMetrics();
+    m.cycles.add(ev_.cycles - run_start.cycles);
+    m.committedOps.add(ev_.committedOps - run_start.committedOps);
+    m.stallLoad.add(ev_.stallHeadLoad - run_start.stallHeadLoad);
+    m.stallStore.add(ev_.stallHeadStore - run_start.stallHeadStore);
+    m.stallFp.add(ev_.stallHeadFp - run_start.stallHeadFp);
+    m.stallDiv.add(ev_.stallHeadDiv - run_start.stallHeadDiv);
+    m.stallOther.add(ev_.stallHeadOther - run_start.stallHeadOther);
+#endif
 
     SimResult result;
     result.cycles = ev_.cycles;
