@@ -100,4 +100,11 @@ traceFile()
     return envString("ADAPTSIM_TRACE_FILE", "adaptsim_trace.json");
 }
 
+bool
+cycleTraceEnabled()
+{
+    const std::string v = envString("ADAPTSIM_CYCLE_TRACE", "");
+    return !v.empty() && v != "0" && v != "off";
+}
+
 } // namespace adaptsim

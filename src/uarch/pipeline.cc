@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/obs.hh"
 
@@ -641,18 +641,19 @@ Pipeline::run(std::span<const isa::MicroOp> trace)
         const bool c4 = dispatchStage();
         const bool c5 = fetchStage();
 
-        static const bool trace_cycles =
-            std::getenv("ADAPTSIM_CYCLE_TRACE") != nullptr;
+        static const bool trace_cycles = cycleTraceEnabled();
         if (trace_cycles && now_ < 400) {
-            std::fprintf(stderr,
-                         "cyc%llu cmp=%d com=%d iss=%d dis=%d "
-                         "fet=%d rob=%d iq=%d frontQ=%zu stall=%llu "
-                         "tIdx=%zu\n",
-                         (unsigned long long)now_, c1, c2, c3, c4,
-                         c5, rob_.occupancy(), iq_.occupancy(),
-                         frontQ_.size(),
-                         (unsigned long long)fetchStallUntil_,
-                         traceIdx_);
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "cyc%llu cmp=%d com=%d iss=%d dis=%d "
+                          "fet=%d rob=%d iq=%d frontQ=%zu stall=%llu "
+                          "tIdx=%zu\n",
+                          (unsigned long long)now_, c1, c2, c3, c4,
+                          c5, rob_.occupancy(), iq_.occupancy(),
+                          frontQ_.size(),
+                          (unsigned long long)fetchStallUntil_,
+                          traceIdx_);
+            lockedWrite(stderr, buf);
         }
 
         if (c1 || c2 || c3 || c4 || c5) {

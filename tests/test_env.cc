@@ -55,5 +55,96 @@ TEST(Env, ThreadsPositive)
     EXPECT_GE(numThreads(), 1u);
     setenv("ADAPTSIM_THREADS", "3", 1);
     EXPECT_EQ(numThreads(), 3u);
+    setenv("ADAPTSIM_THREADS", "-2", 1);
+    EXPECT_GE(numThreads(), 1u);
     unsetenv("ADAPTSIM_THREADS");
+}
+
+TEST(Env, LongPartialParseAndEmpty)
+{
+    setenv("ADAPTSIM_TEST_L", "", 1);
+    EXPECT_EQ(envLong("ADAPTSIM_TEST_L", 7), 7);
+    // strtol stops at the first non-digit; a leading number wins.
+    setenv("ADAPTSIM_TEST_L", "12abc", 1);
+    EXPECT_EQ(envLong("ADAPTSIM_TEST_L", 7), 12);
+    setenv("ADAPTSIM_TEST_L", "abc", 1);
+    EXPECT_EQ(envLong("ADAPTSIM_TEST_L", 7), 7);
+    unsetenv("ADAPTSIM_TEST_L");
+}
+
+TEST(Env, DataDirDefaultAndOverride)
+{
+    unsetenv("ADAPTSIM_DATA_DIR");
+    EXPECT_EQ(dataDir(), "data");
+    setenv("ADAPTSIM_DATA_DIR", "/tmp/cache", 1);
+    EXPECT_EQ(dataDir(), "/tmp/cache");
+    unsetenv("ADAPTSIM_DATA_DIR");
+}
+
+TEST(Env, FlushEveryDefaultAndClamp)
+{
+    unsetenv("ADAPTSIM_FLUSH_EVERY");
+    EXPECT_EQ(flushEvery(), 64u);
+    setenv("ADAPTSIM_FLUSH_EVERY", "128", 1);
+    EXPECT_EQ(flushEvery(), 128u);
+    // Zero and negative clamp to the minimum of 1.
+    setenv("ADAPTSIM_FLUSH_EVERY", "0", 1);
+    EXPECT_EQ(flushEvery(), 1u);
+    setenv("ADAPTSIM_FLUSH_EVERY", "-5", 1);
+    EXPECT_EQ(flushEvery(), 1u);
+    setenv("ADAPTSIM_FLUSH_EVERY", "garbage", 1);
+    EXPECT_EQ(flushEvery(), 64u);
+    unsetenv("ADAPTSIM_FLUSH_EVERY");
+}
+
+TEST(Env, MetricsTristate)
+{
+    unsetenv("ADAPTSIM_METRICS");
+    EXPECT_TRUE(metricsEnabled());
+    EXPECT_EQ(metricsJsonPath(), "");
+    setenv("ADAPTSIM_METRICS", "1", 1);
+    EXPECT_TRUE(metricsEnabled());
+    EXPECT_EQ(metricsJsonPath(), "");
+    setenv("ADAPTSIM_METRICS", "0", 1);
+    EXPECT_FALSE(metricsEnabled());
+    EXPECT_EQ(metricsJsonPath(), "");
+    setenv("ADAPTSIM_METRICS", "off", 1);
+    EXPECT_FALSE(metricsEnabled());
+    // Any other value doubles as the JSON dump path.
+    setenv("ADAPTSIM_METRICS", "out/metrics.json", 1);
+    EXPECT_TRUE(metricsEnabled());
+    EXPECT_EQ(metricsJsonPath(), "out/metrics.json");
+    unsetenv("ADAPTSIM_METRICS");
+}
+
+TEST(Env, TraceKnobs)
+{
+    unsetenv("ADAPTSIM_TRACE");
+    EXPECT_FALSE(traceEnabled());
+    setenv("ADAPTSIM_TRACE", "0", 1);
+    EXPECT_FALSE(traceEnabled());
+    setenv("ADAPTSIM_TRACE", "off", 1);
+    EXPECT_FALSE(traceEnabled());
+    setenv("ADAPTSIM_TRACE", "1", 1);
+    EXPECT_TRUE(traceEnabled());
+    unsetenv("ADAPTSIM_TRACE");
+
+    unsetenv("ADAPTSIM_TRACE_FILE");
+    EXPECT_EQ(traceFile(), "adaptsim_trace.json");
+    setenv("ADAPTSIM_TRACE_FILE", "t.json", 1);
+    EXPECT_EQ(traceFile(), "t.json");
+    unsetenv("ADAPTSIM_TRACE_FILE");
+}
+
+TEST(Env, CycleTrace)
+{
+    unsetenv("ADAPTSIM_CYCLE_TRACE");
+    EXPECT_FALSE(cycleTraceEnabled());
+    setenv("ADAPTSIM_CYCLE_TRACE", "0", 1);
+    EXPECT_FALSE(cycleTraceEnabled());
+    setenv("ADAPTSIM_CYCLE_TRACE", "off", 1);
+    EXPECT_FALSE(cycleTraceEnabled());
+    setenv("ADAPTSIM_CYCLE_TRACE", "1", 1);
+    EXPECT_TRUE(cycleTraceEnabled());
+    unsetenv("ADAPTSIM_CYCLE_TRACE");
 }
