@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Check-only clang-format drift report against the repo .clang-format.
+# Advisory for now: not wired into tier1.sh, so it reports drift
+# without blocking; CI runs it as a non-fatal step.  Skips gracefully
+# when clang-format is not installed.
+#
+#   scripts/format-check.sh          report drifted files, exit 1 if any
+#   CLANG_FORMAT=clang-format-18 scripts/format-check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fmt=${CLANG_FORMAT:-clang-format}
+if ! command -v "$fmt" >/dev/null 2>&1; then
+    echo "format-check: $fmt not found; skipping" \
+         "(install clang-format to enable)"
+    exit 0
+fi
+
+fail=0
+count=0
+while IFS= read -r -d '' f; do
+    count=$((count + 1))
+    if ! "$fmt" --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "format-check: $f needs formatting"
+        fail=1
+    fi
+done < <(find src tools tests bench examples \
+    \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \
+       -o -name '*.hpp' \) -print0)
+
+if [ "$fail" = 0 ]; then
+    echo "format-check: $count file(s) clean"
+fi
+exit "$fail"

@@ -1,22 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a
-# ThreadSanitizer pass over the concurrency-critical tests
-# (thread pool, shared simulation repository, metrics registry),
-# then a -DADAPTSIM_OBS=OFF build proving the instrumentation
-# compiles out cleanly.
+# Tier-1 verification:
+#   1. full build + test suite — includes the adaptsim-lint static-
+#      analysis gate (ctest test `lint`) and the header self-
+#      containment objects, which compile with the main build
+#   2. ThreadSanitizer pass over the concurrency-critical tests
+#      (thread pool, shared simulation repository, metrics registry)
+#   3. AddressSanitizer+UBSan pass over the full test suite
+#   4. -DADAPTSIM_OBS=OFF build proving the instrumentation compiles
+#      out cleanly
+#   5. -DADAPTSIM_WERROR=ON hardened compile: the whole tree (library,
+#      tools, tests, benches, examples) must be -Wshadow -Werror clean
+# Sanitizer passes skip gracefully where the runtime is unavailable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+san_available() {
+    echo 'int main(){return 0;}' |
+        c++ -fsanitize="$1" -x c++ - -o /tmp/adaptsim_san_probe \
+            2>/dev/null || return 1
+    rm -f /tmp/adaptsim_san_probe
+}
+
+# 1. Build + full suite (lint gate included).
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-# TSan build preset (cmake -DADAPTSIM_SANITIZE=thread).  Skipped
-# gracefully where libtsan is unavailable.
-if echo 'int main(){return 0;}' |
-    c++ -fsanitize=thread -x c++ - -o /tmp/adaptsim_tsan_probe \
-        2>/dev/null; then
-    rm -f /tmp/adaptsim_tsan_probe
+# 2. TSan over the concurrency tests.
+if san_available thread; then
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
         --target test_thread_pool test_repository test_obs
@@ -26,10 +37,28 @@ else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi
 
-# Compile-out check: with ADAPTSIM_OBS=OFF the OBS_* macros vanish
-# from every call site; the library, a bench, and the obs unit
-# tests must still build and pass.
+# 3. ASan+UBSan over the full suite.
+if san_available address,undefined; then
+    cmake -B build-asan-ubsan -S . \
+        -DADAPTSIM_SANITIZE="address;undefined"
+    cmake --build build-asan-ubsan -j
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --test-dir build-asan-ubsan --output-on-failure \
+        -j"$(nproc)"
+else
+    echo "tier1: ASan+UBSan unavailable; skipping sanitizer pass"
+fi
+
+# 4. Compile-out check: with ADAPTSIM_OBS=OFF the OBS_* macros vanish
+# from every call site; the library, a bench, and the obs unit tests
+# must still build and pass.
 cmake -B build-noobs -S . -DADAPTSIM_OBS=OFF
 cmake --build build-noobs -j \
     --target test_obs table3_baseline_static
 ctest --test-dir build-noobs --output-on-failure -R 'test_obs'
+
+# 5. Hardened warning profile (compile-only).
+cmake -B build-werror -S . -DADAPTSIM_WERROR=ON
+cmake --build build-werror -j
+
+echo "tier1: all passes complete"

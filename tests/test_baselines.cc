@@ -25,7 +25,9 @@ struct Fixture
         // Phase 0: a=4, b=1.  Phase 1: a=2, b=3.
         phases.resize(2);
         for (std::size_t i = 0; i < 2; ++i) {
-            phases[i].phase.workload = "x";
+            // std::string{} sidesteps GCC 12's bogus -Wrestrict on
+            // char*-assignment into a loop-indexed string at -O3.
+            phases[i].phase.workload = std::string("x");
             phases[i].phase.index = i;
             phases[i].phase.weight = 0.5;
         }

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests of the adaptsim-lint rule engine: each rule on violating and
+ * clean snippets, the lint:allow escape hatch, comment/string-literal
+ * awareness, and the tree walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint_engine.hh"
+
+using adaptsim::lint::Diagnostic;
+using adaptsim::lint::lintSource;
+using adaptsim::lint::lintTree;
+using adaptsim::lint::render;
+
+namespace
+{
+
+std::vector<Diagnostic>
+lint(const std::string &path, const std::string &text)
+{
+    return lintSource(path, text);
+}
+
+} // namespace
+
+TEST(Lint, DeterminismBansEntropyInCore)
+{
+    const auto d = lint("src/uarch/x.cc", "int f() { return rand(); }\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].file, "src/uarch/x.cc");
+    EXPECT_EQ(d[0].line, 1u);
+    EXPECT_EQ(d[0].rule, "determinism");
+
+    EXPECT_EQ(lint("src/ml/x.cc", "std::mt19937 g;\n").size(), 1u);
+    EXPECT_EQ(lint("src/ml/x.cc", "std::mt19937_64 g(7);\n").size(), 1u);
+    EXPECT_EQ(lint("src/phase/x.cc", "std::random_device rd;\n").size(),
+              1u);
+    EXPECT_EQ(lint("src/workload/x.cc", "auto t = time(nullptr);\n")
+                  .size(),
+              1u);
+    EXPECT_EQ(
+        lint("src/uarch/x.cc",
+             "auto n = std::chrono::system_clock::now();\n")
+            .size(),
+        1u);
+    EXPECT_EQ(lint("src/uarch/x.cc", "srand(42);\n").size(), 1u);
+}
+
+TEST(Lint, DeterminismScopedToCoreDirs)
+{
+    // The same entropy sources are legal outside the simulation core
+    // (harness, obs, bench, tests)...
+    EXPECT_TRUE(lint("src/harness/x.cc", "int x = rand();\n").empty());
+    EXPECT_TRUE(lint("tests/x.cc", "std::mt19937 g;\n").empty());
+    // ...and identifiers merely *containing* a banned token never
+    // trip the word-boundary matcher.
+    EXPECT_TRUE(
+        lint("src/uarch/x.cc", "int operand(int grand);\n").empty());
+    EXPECT_TRUE(
+        lint("src/uarch/x.cc", "Cycles readyTime(int i);\n").empty());
+}
+
+TEST(Lint, EnvOnlyInsideEnvCc)
+{
+    const auto d =
+        lint("src/control/x.cc", "const char *v = std::getenv(\"A\");\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "env");
+    EXPECT_EQ(d[0].line, 1u);
+    EXPECT_TRUE(
+        lint("src/common/env.cc", "const char *v = std::getenv(\"A\");\n")
+            .empty());
+}
+
+TEST(Lint, LoggingBansRawStderr)
+{
+    EXPECT_EQ(lint("src/uarch/x.cc", "std::cerr << \"x\";\n")[0].rule,
+              "logging");
+    EXPECT_EQ(
+        lint("bench/x.cc", "std::fprintf(stderr, \"x\");\n")[0].rule,
+        "logging");
+    EXPECT_EQ(lint("tests/x.cc", "fputs(\"x\", stderr);\n")[0].rule,
+              "logging");
+    // stdout and file streams are fine; so is the sanctioned
+    // lockedWrite(stderr, ...) since it is not a ban-listed call.
+    EXPECT_TRUE(lint("bench/x.cc", "std::printf(\"x\");\n").empty());
+    EXPECT_TRUE(
+        lint("src/obs/x.cc", "std::fprintf(out, \"x\");\n").empty());
+    EXPECT_TRUE(
+        lint("src/uarch/x.cc", "lockedWrite(stderr, buf);\n").empty());
+    // The logging layer itself is exempt.
+    EXPECT_TRUE(
+        lint("src/common/logging.hh",
+             "#pragma once\nstd::fputs(t, stderr);\n")
+            .empty());
+}
+
+TEST(Lint, HeaderGuardRequired)
+{
+    const auto d = lint("src/a/x.hh", "int f();\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "header-guard");
+    EXPECT_EQ(d[0].line, 1u);
+
+    EXPECT_TRUE(lint("src/a/x.hh", "#pragma once\nint f();\n").empty());
+    EXPECT_TRUE(lint("src/a/x.hh",
+                     "/** doc */\n#ifndef A_X_HH\n#define A_X_HH\n"
+                     "int f();\n#endif\n")
+                    .empty());
+    // #ifndef whose #define does not match is still unguarded.
+    const auto mismatch = lint(
+        "src/a/x.hh", "#ifndef A_X_HH\n#define OTHER\nint f();\n#endif\n");
+    ASSERT_EQ(mismatch.size(), 1u);
+    EXPECT_EQ(mismatch[0].rule, "header-guard");
+}
+
+TEST(Lint, UsingNamespaceOnlyAtNamespaceScopeInHeaders)
+{
+    const std::string bad =
+        "#pragma once\nnamespace a\n{\nusing namespace std;\n}\n";
+    const auto d = lint("src/a/x.hh", bad);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "header-using-namespace");
+    EXPECT_EQ(d[0].line, 4u);
+
+    // Inside a function body it does not leak into includers.
+    EXPECT_TRUE(lint("src/a/x.hh",
+                     "#pragma once\ninline void f()\n{\n"
+                     "    using namespace std;\n}\n")
+                    .empty());
+    // In a .cc it is the file's own business.
+    EXPECT_TRUE(lint("src/a/x.cc", "using namespace std;\n").empty());
+}
+
+TEST(Lint, AllowEscapeHatch)
+{
+    EXPECT_TRUE(
+        lint("src/uarch/x.cc",
+             "int x = rand(); // lint:allow(determinism)\n")
+            .empty());
+    // Allowing a different rule does not suppress.
+    EXPECT_EQ(lint("src/uarch/x.cc",
+                   "int x = rand(); // lint:allow(logging)\n")
+                  .size(),
+              1u);
+    // Multiple rules in one allow.
+    EXPECT_TRUE(
+        lint("src/uarch/x.cc",
+             "int x = rand(); auto v = std::getenv(\"A\"); "
+             "// lint:allow(determinism, env)\n")
+            .empty());
+}
+
+TEST(Lint, CommentsAndStringsNeverTrip)
+{
+    EXPECT_TRUE(lint("src/uarch/x.cc", "// calls rand() once\n").empty());
+    EXPECT_TRUE(lint("src/uarch/x.cc", "/* srand(1) */ int x;\n").empty());
+    EXPECT_TRUE(
+        lint("src/uarch/x.cc", "const char *s = \"rand()\";\n").empty());
+    EXPECT_TRUE(lint("src/uarch/x.cc",
+                     "const char *s = R\"(time(nullptr))\";\n")
+                    .empty());
+}
+
+TEST(Lint, DigitSeparatorIsNotACharLiteral)
+{
+    // A digit separator must not open a char literal and blank the
+    // rest of the line — the violation after it is still seen.
+    const auto d = lint("src/uarch/x.cc",
+                        "Addr a = 0x1000'0000ULL; int b = rand();\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "determinism");
+}
+
+TEST(Lint, RenderFormat)
+{
+    const Diagnostic d{"src/a.cc", 12, "env", "msg"};
+    EXPECT_EQ(render(d), "src/a.cc:12: [env] msg");
+}
+
+TEST(Lint, MultipleViolationsReportedInLineOrder)
+{
+    const std::string text = "int a = rand();\n"
+                             "int b = 0;\n"
+                             "std::cerr << b;\n";
+    const auto d = lint("src/uarch/x.cc", text);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0].line, 1u);
+    EXPECT_EQ(d[0].rule, "determinism");
+    EXPECT_EQ(d[1].line, 3u);
+    EXPECT_EQ(d[1].rule, "logging");
+}
+
+TEST(Lint, TreeWalkFindsViolationsAndCounts)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(testing::TempDir()) / "adaptsim_lint_tree";
+    fs::remove_all(root);
+    fs::create_directories(root / "src" / "uarch");
+    std::ofstream(root / "src" / "uarch" / "bad.cc")
+        << "int f() { return rand(); }\n";
+    std::ofstream(root / "src" / "uarch" / "good.cc")
+        << "int f() { return 4; }\n";
+    std::ofstream(root / "src" / "uarch" / "notes.txt")
+        << "rand() here is ignored: not a source file\n";
+
+    const auto res = lintTree(root.string(), {"src"});
+    EXPECT_EQ(res.filesScanned, 2u);
+    ASSERT_EQ(res.diagnostics.size(), 1u);
+    EXPECT_EQ(res.diagnostics[0].file, "src/uarch/bad.cc");
+    EXPECT_EQ(res.diagnostics[0].rule, "determinism");
+    fs::remove_all(root);
+}
+
+TEST(Lint, TreeWalkRejectsMissingSubdir)
+{
+    EXPECT_THROW(lintTree("/nonexistent-root-xyz", {"src"}),
+                 std::runtime_error);
+}

@@ -45,8 +45,9 @@ TEST(SimPoint, PhasesOrderedAndAligned)
         EXPECT_EQ(phases[i].index, i);
         EXPECT_EQ(phases[i].startInst % opt.intervalLength, 0u);
         EXPECT_EQ(phases[i].lengthInsts, opt.intervalLength);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GT(phases[i].startInst, prev);
+        }
         prev = phases[i].startInst;
         EXPECT_EQ(phases[i].workload, "gcc");
     }

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * adaptsim-lint CLI: walk the source tree and report every project-
+ * invariant violation as `file:line: [rule] message`.
+ *
+ *     adaptsim_lint [--root DIR] [SUBDIR...]
+ *
+ * DIR defaults to the current directory; SUBDIRs default to
+ * `src bench tests examples`.  Exit status: 0 clean, 1 violations
+ * found, 2 usage or I/O error.  Registered as the ctest test `lint`.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint_engine.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> subdirs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "adaptsim_lint: --root needs a value\n");
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: adaptsim_lint [--root DIR] [SUBDIR...]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "adaptsim_lint: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            subdirs.push_back(arg);
+        }
+    }
+    if (subdirs.empty())
+        subdirs = {"src", "bench", "tests", "examples"};
+
+    adaptsim::lint::TreeResult res;
+    try {
+        res = adaptsim::lint::lintTree(root, subdirs);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "adaptsim_lint: %s\n", e.what());
+        return 2;
+    }
+    for (const auto &d : res.diagnostics)
+        std::printf("%s\n", adaptsim::lint::render(d).c_str());
+    std::printf("adaptsim_lint: %zu violation(s) in %zu file(s) "
+                "scanned\n",
+                res.diagnostics.size(), res.filesScanned);
+    return res.diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * adaptsim-lint rule engine.
+ *
+ * A self-contained (no dependency on the adaptsim library) C++20
+ * source scanner enforcing the project invariants that keep
+ * simulation bit-reproducible and the logs clean:
+ *
+ *   determinism             no rand()/srand()/std::random_device/
+ *                           time()/system_clock/std::mt19937 inside
+ *                           the simulation core (src/uarch, src/ml,
+ *                           src/workload, src/phase) — all randomness
+ *                           must flow through common/rng
+ *   env                     std::getenv only inside src/common/env.cc;
+ *                           everything else goes through the helpers
+ *   logging                 no raw stderr writes (std::cerr,
+ *                           fprintf/fputs/fputc to stderr) outside
+ *                           common/logging.hh — use panic/fatal/warn/
+ *                           inform or lockedWrite
+ *   header-guard            every header starts with #pragma once or
+ *                           a matching #ifndef/#define pair
+ *   header-using-namespace  no `using namespace` at namespace scope
+ *                           in a header
+ *
+ * Scanning is comment- and string-literal-aware: banned tokens inside
+ * comments, string literals, char literals, and raw strings are never
+ * flagged.  A violation is suppressed by putting
+ *
+ *     // lint:allow(<rule>[, <rule>...])
+ *
+ * in a comment on the offending line (for header-guard: on the line
+ * the diagnostic points at, i.e. the first non-comment line).
+ */
+
+#ifndef ADAPTSIM_TOOLS_LINT_ENGINE_HH
+#define ADAPTSIM_TOOLS_LINT_ENGINE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adaptsim::lint
+{
+
+/** One rule violation at a source location. */
+struct Diagnostic
+{
+    std::string file;    ///< path as handed to lintSource()
+    std::size_t line;    ///< 1-based line number
+    std::string rule;    ///< rule identifier (e.g. "determinism")
+    std::string message; ///< human-readable explanation
+};
+
+/** Render as the canonical "file:line: [rule] message" form. */
+std::string render(const Diagnostic &d);
+
+/**
+ * Lint one translation unit.  @p path must be repo-relative with
+ * forward slashes (it selects which rules apply and which exemptions
+ * hold); @p text is the file's full contents.
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &text);
+
+/** Result of walking a source tree. */
+struct TreeResult
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t filesScanned = 0;
+};
+
+/**
+ * Walk @p subdirs (relative to @p root) recursively and lint every
+ * .cc/.hh/.cpp/.hpp file, in sorted path order for deterministic
+ * output.  Missing subdirs are an error (throws std::runtime_error),
+ * as a misspelt directory would otherwise pass vacuously.
+ */
+TreeResult lintTree(const std::string &root,
+                    const std::vector<std::string> &subdirs);
+
+} // namespace adaptsim::lint
+
+#endif // ADAPTSIM_TOOLS_LINT_ENGINE_HH
