@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end cold-repository gather: per repetition the on-disk
+ * cache is wiped and a fresh EvalRepository gathers training data
+ * for a fixed phase set.  This is the paper-pipeline bottleneck the
+ * shared trace cache attacks: every configuration of a phase replays
+ * the same warm (12k µop) + detail (6k µop) traces.
+ */
+
+#include "perf_harness.hh"
+
+#include <filesystem>
+
+#include "harness/gather.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+
+    const std::uint64_t program_length = 400000;
+    const std::uint64_t warm_length = 12000;
+    const std::uint64_t detail_length = 6000;
+
+    harness::GatherOptions gopt;
+    gopt.sharedRandomConfigs = opt.smoke ? 8 : 16;
+    gopt.localNeighbours = opt.smoke ? 4 : 8;
+    gopt.oneAtATimeSweep = false;
+    gopt.progress = false;
+
+    std::vector<phase::Phase> phases;
+    const char *programs[] = {"gcc", "crafty"};
+    const std::size_t per_program = opt.smoke ? 1 : 3;
+    for (const char *prog : programs) {
+        for (std::size_t i = 0; i < per_program; ++i) {
+            phase::Phase ph;
+            ph.workload = prog;
+            ph.index = i;
+            ph.startInst = 40000 + i * 60000;
+            ph.lengthInsts = detail_length;
+            ph.weight = 1.0 / double(per_program);
+            phases.push_back(ph);
+        }
+    }
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "adaptsim_perf_gather";
+
+    double items = 0.0;
+    const auto secs = perf::runTimed(opt, items, [&]() {
+        std::filesystem::remove_all(dir);   // cold repository
+        harness::EvalRepository repo(
+            workload::specSuite(program_length), dir.string(), 1);
+        const auto gathered = harness::gatherTrainingData(
+            repo, phases, program_length, warm_length, gopt);
+        double evals = 0.0;
+        for (const auto &g : gathered)
+            evals += static_cast<double>(g.evals.size());
+        return evals;
+    });
+    std::filesystem::remove_all(dir);
+    perf::emitJson("perf_gather", opt, secs, items, "evals");
+    return 0;
+}

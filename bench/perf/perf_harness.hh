@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tiny deterministic micro-benchmark harness for the perf_* binaries.
+ *
+ * Every benchmark runs a fixed workload `--warmup` times (discarded),
+ * then `--reps` timed repetitions, and emits one machine-readable
+ * JSON object per measurement on stdout.  scripts/perf.sh collects
+ * those objects into BENCH_perf.json so every PR leaves a perf
+ * trajectory behind.  Reporting median and min makes the numbers
+ * robust to scheduler noise; the workload itself is bit-deterministic
+ * so only the clock varies between repetitions.
+ *
+ * Flags (shared by all perf binaries):
+ *   --reps N     timed repetitions (default 7)
+ *   --warmup N   discarded warm-up repetitions (default 2)
+ *   --smoke      CI-sized run: 1 warm-up, 3 reps, smaller workloads
+ */
+
+#ifndef ADAPTSIM_BENCH_PERF_PERF_HARNESS_HH
+#define ADAPTSIM_BENCH_PERF_PERF_HARNESS_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace adaptsim::perf
+{
+
+/** Parsed command-line options shared by every perf binary. */
+struct PerfOptions
+{
+    int reps = 7;
+    int warmup = 2;
+    bool smoke = false;
+
+    static PerfOptions
+    parse(int argc, char **argv)
+    {
+        PerfOptions opt;
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (std::strcmp(a, "--smoke") == 0) {
+                opt.smoke = true;
+                opt.reps = 3;
+                opt.warmup = 1;
+            } else if (std::strcmp(a, "--reps") == 0 &&
+                       i + 1 < argc) {
+                opt.reps = std::max(1, std::atoi(argv[++i]));
+            } else if (std::strcmp(a, "--warmup") == 0 &&
+                       i + 1 < argc) {
+                opt.warmup = std::max(0, std::atoi(argv[++i]));
+            }
+        }
+        return opt;
+    }
+};
+
+/** Monotonic seconds since an arbitrary origin. */
+inline double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+inline double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    if (n == 0)
+        return 0.0;
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+inline double
+minimum(const std::vector<double> &v)
+{
+    return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+/**
+ * Run @p fn opt.warmup + opt.reps times; @p fn must perform one full
+ * repetition (including any per-rep reset) and return the number of
+ * work "items" done (µops simulated, records gathered, ...), used to
+ * derive a throughput.  Returns the timed per-rep seconds.
+ */
+template <typename Fn>
+std::vector<double>
+runTimed(const PerfOptions &opt, double &items_out, Fn &&fn)
+{
+    items_out = 0.0;
+    for (int i = 0; i < opt.warmup; ++i)
+        (void)fn();
+    std::vector<double> secs;
+    secs.reserve(static_cast<std::size_t>(opt.reps));
+    for (int i = 0; i < opt.reps; ++i) {
+        const double t0 = nowSeconds();
+        items_out = fn();
+        secs.push_back(nowSeconds() - t0);
+    }
+    return secs;
+}
+
+/**
+ * Emit one result object (a line of JSON) on stdout.  @p items is
+ * the per-rep work count used for the derived throughput
+ * (items / median_seconds); pass 0 to omit the throughput fields.
+ */
+inline void
+emitJson(const std::string &name, const PerfOptions &opt,
+         const std::vector<double> &secs, double items,
+         const std::string &items_unit)
+{
+    const double med = median(secs);
+    const double mn = minimum(secs);
+    std::printf("{\"name\":\"%s\",\"reps\":%d,\"warmup\":%d,"
+                "\"smoke\":%s,\"median_s\":%.6f,\"min_s\":%.6f",
+                name.c_str(), opt.reps, opt.warmup,
+                opt.smoke ? "true" : "false", med, mn);
+    if (items > 0.0) {
+        std::printf(",\"items\":%.0f,\"items_unit\":\"%s\","
+                    "\"items_per_s\":%.1f",
+                    items, items_unit.c_str(),
+                    med > 0.0 ? items / med : 0.0);
+    }
+    std::printf("}\n");
+}
+
+} // namespace adaptsim::perf
+
+#endif // ADAPTSIM_BENCH_PERF_PERF_HARNESS_HH

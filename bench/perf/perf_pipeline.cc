@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Raw simulator throughput: µops per second through one detailed
+ * pipeline run (fresh core per repetition, fixed trace).
+ */
+
+#include "perf_harness.hh"
+
+#include "harness/gather.hh"
+#include "uarch/core.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+    const std::uint64_t detail = opt.smoke ? 20000 : 120000;
+    const std::uint64_t warm = opt.smoke ? 8000 : 24000;
+
+    const auto wl = workload::specBenchmark("gcc", 400000);
+    const auto cfg = harness::paperBaselineConfig();
+    const auto cc = uarch::CoreConfig::fromConfiguration(cfg);
+    const auto warm_trace = wl.generate(40000 - warm, warm);
+    const auto trace = wl.generate(40000, detail);
+
+    double items = 0.0;
+    const auto secs = perf::runTimed(opt, items, [&]() {
+        workload::WrongPathGenerator wp(wl.averageParams(),
+                                        wl.seed() ^ 0x57a71cULL);
+        uarch::Core core(cc, wp);
+        core.warm(warm_trace);
+        const auto r = core.run(trace);
+        return static_cast<double>(r.events.committedOps);
+    });
+    perf::emitJson("perf_pipeline", opt, secs, items, "uops");
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Trace-generation throughput: µops per second out of
+ * Workload::generate (the cost the trace cache amortises away).
+ */
+
+#include "perf_harness.hh"
+
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+    const std::uint64_t count = opt.smoke ? 100000 : 1000000;
+
+    const auto wl = workload::specBenchmark("crafty", 400000);
+
+    double items = 0.0;
+    const auto secs = perf::runTimed(opt, items, [&]() {
+        const auto trace = wl.generate(12345, count);
+        return static_cast<double>(trace.size());
+    });
+    perf::emitJson("perf_tracegen", opt, secs, items, "uops");
+    return 0;
+}

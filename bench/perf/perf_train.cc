@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Model-training throughput: fit the 14-classifier adaptivity model
+ * on a fixed gathered data set (gathered once, outside the timed
+ * region, into a warm temp repository).
+ */
+
+#include "perf_harness.hh"
+
+#include <filesystem>
+
+#include "harness/gather.hh"
+#include "ml/trainer.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+
+    const std::uint64_t program_length = 400000;
+
+    harness::GatherOptions gopt;
+    gopt.sharedRandomConfigs = opt.smoke ? 8 : 16;
+    gopt.localNeighbours = 4;
+    gopt.oneAtATimeSweep = false;
+    gopt.progress = false;
+
+    std::vector<phase::Phase> phases;
+    const char *programs[] = {"gcc", "crafty", "swim"};
+    for (const char *prog : programs) {
+        for (std::size_t i = 0; i < 2; ++i) {
+            phase::Phase ph;
+            ph.workload = prog;
+            ph.index = i;
+            ph.startInst = 40000 + i * 60000;
+            ph.lengthInsts = 6000;
+            ph.weight = 0.5;
+            phases.push_back(ph);
+        }
+    }
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "adaptsim_perf_train";
+    std::filesystem::remove_all(dir);
+    std::vector<ml::PhaseData> data;
+    {
+        harness::EvalRepository repo(
+            workload::specSuite(program_length), dir.string(), 1);
+        const auto gathered = harness::gatherTrainingData(
+            repo, phases, program_length, 12000, gopt);
+        for (const auto &g : gathered)
+            data.push_back(
+                g.toPhaseData(counters::FeatureSet::Advanced));
+    }
+    std::filesystem::remove_all(dir);
+
+    double items = 0.0;
+    const auto secs = perf::runTimed(opt, items, [&]() {
+        const auto model = ml::trainModel(data);
+        return static_cast<double>(model.totalWeights());
+    });
+    perf::emitJson("perf_train", opt, secs, items, "weights");
+    return 0;
+}

@@ -67,13 +67,17 @@ main()
         const auto wl =
             workload::specBenchmark(program, program_length);
 
+        // Both runs walk the same interval sequence, so one shared
+        // cache generates every trace once and replays it twice.
+        workload::TraceCache trace_cache;
         const auto static_stats = control::runStatic(
             wl, harness::paperBaselineConfig(), run_length,
-            interval);
+            interval, &trace_cache);
 
         control::ControllerOptions copt;
         copt.intervalLength = interval;
         copt.initialConfig = harness::paperBaselineConfig();
+        copt.traceCache = &trace_cache;
         control::AdaptiveController controller(wl, model, copt);
         const auto adaptive_stats = controller.run(run_length);
 

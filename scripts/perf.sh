@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Reproducible perf-benchmark driver.
+#
+# Builds the bench/perf micro-benchmarks in Release mode and runs
+# each one (its own warmup + repetition + median/min logic lives in
+# bench/perf/perf_harness.hh), assembling the per-benchmark JSON
+# lines into a machine-readable BENCH_perf.json in the repo root.
+#
+#   scripts/perf.sh               full run (7 reps, 2 warmup each)
+#   scripts/perf.sh --smoke       quick advisory run for CI
+#   scripts/perf.sh --reps 15     more repetitions for quieter medians
+#
+# Extra arguments are forwarded verbatim to every benchmark binary.
+# The output file is overwritten on each run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${BENCH_OUT:-BENCH_perf.json}"
+BENCHES=(perf_pipeline perf_tracegen perf_gather perf_train)
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
+
+{
+    echo '{'
+    echo '  "benchmarks": ['
+    first=1
+    for bench in "${BENCHES[@]}"; do
+        line="$("$BUILD_DIR/bench/perf/$bench" "$@")"
+        [ -n "$line" ] || { echo "perf: $bench emitted nothing" >&2;
+                            exit 1; }
+        if [ "$first" -eq 1 ]; then first=0; else echo ','; fi
+        printf '    %s' "$line"
+    done
+    echo
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+# Fail loudly on malformed output rather than shipping a bad artifact.
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$OUT" > /dev/null
+fi
+
+echo "perf: wrote $OUT"

@@ -4,7 +4,8 @@
 #      analysis gate (ctest test `lint`) and the header self-
 #      containment objects, which compile with the main build
 #   2. ThreadSanitizer pass over the concurrency-critical tests
-#      (thread pool, shared simulation repository, metrics registry)
+#      (thread pool, shared simulation repository, shared trace
+#      cache, metrics registry)
 #   3. AddressSanitizer+UBSan pass over the full test suite
 #   4. -DADAPTSIM_OBS=OFF build proving the instrumentation compiles
 #      out cleanly
@@ -21,18 +22,23 @@ san_available() {
     rm -f /tmp/adaptsim_san_probe
 }
 
-# 1. Build + full suite (lint gate included).
+# 1. Build + full suite (lint gate included).  The perf micro-
+# benchmarks build here too so they cannot rot, but only run via
+# scripts/perf.sh.
 cmake -B build -S .
 cmake --build build -j
+cmake --build build -j \
+    --target perf_pipeline perf_tracegen perf_gather perf_train
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # 2. TSan over the concurrency tests.
 if san_available thread; then
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
-        --target test_thread_pool test_repository test_obs
+        --target test_thread_pool test_repository test_trace_cache \
+                 test_obs
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_thread_pool|test_repository|test_obs'
+        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs'
 else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi

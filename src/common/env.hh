@@ -34,6 +34,10 @@ unsigned numThreads();
  *  flushes (default 64, minimum 1). */
 std::size_t flushEvery();
 
+/** ADAPTSIM_TRACE_CACHE: interval-trace LRU capacity in traces
+ *  (default 48, minimum 1). */
+std::size_t traceCacheCapacity();
+
 /** ADAPTSIM_METRICS: exit metrics summary.  Unset/"1" enables the
  *  table; "0"/"off" disables it; any other value is additionally
  *  treated as a path for a machine-readable JSON dump. */

@@ -53,8 +53,20 @@ AdaptiveController::run(std::uint64_t max_instructions)
         uarch::CoreConfig::fromConfiguration(profiling);
     uarch::Core profiling_core(profiling_cc, wrongPath_);
 
+    // Interval traces come from the shared cache when one is
+    // configured (replayed comparison runs regenerate nothing).
+    workload::TracePtr trace_hold;
+    std::vector<isa::MicroOp> trace_local;
     for (std::uint64_t i = 0; i < num_intervals; ++i) {
-        const auto trace = wl_.generate(i * interval, interval);
+        std::span<const isa::MicroOp> trace;
+        if (opt_.traceCache) {
+            trace_hold =
+                opt_.traceCache->get(wl_, i * interval, interval);
+            trace = *trace_hold;
+        } else {
+            trace_local = wl_.generate(i * interval, interval);
+            trace = trace_local;
+        }
 
         // Stage 1: phase detection on the interval's BBV.
         const auto obs =
@@ -141,7 +153,8 @@ RunStats
 runStatic(const workload::Workload &wl,
           const space::Configuration &config,
           std::uint64_t max_instructions,
-          std::uint64_t interval_length)
+          std::uint64_t interval_length,
+          workload::TraceCache *trace_cache)
 {
     RunStats stats;
     workload::WrongPathGenerator wrong_path(wl.averageParams(),
@@ -151,9 +164,19 @@ runStatic(const workload::Workload &wl,
 
     const std::uint64_t num_intervals =
         max_instructions / interval_length;
+    workload::TracePtr trace_hold;
+    std::vector<isa::MicroOp> trace_local;
     for (std::uint64_t i = 0; i < num_intervals; ++i) {
-        const auto trace =
-            wl.generate(i * interval_length, interval_length);
+        std::span<const isa::MicroOp> trace;
+        if (trace_cache) {
+            trace_hold = trace_cache->get(
+                wl, i * interval_length, interval_length);
+            trace = *trace_hold;
+        } else {
+            trace_local =
+                wl.generate(i * interval_length, interval_length);
+            trace = trace_local;
+        }
         const auto result = core.run(trace);
         const auto m = power::computeMetrics(cc, result.events);
         stats.seconds += m.seconds;

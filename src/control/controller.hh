@@ -24,6 +24,7 @@
 #include "ml/trainer.hh"
 #include "phase/online_detector.hh"
 #include "uarch/core.hh"
+#include "workload/trace_cache.hh"
 #include "workload/workload.hh"
 
 namespace adaptsim::control
@@ -37,6 +38,11 @@ struct ControllerOptions
         counters::FeatureSet::Advanced;
     double detectorThreshold = 1.0;
     space::Configuration initialConfig;   ///< config before adapting
+
+    /** Optional shared interval-trace cache: replayed runs of the
+     *  same workload (static vs adaptive comparisons) then generate
+     *  each interval once instead of once per run. */
+    workload::TraceCache *traceCache = nullptr;
 };
 
 /** Whole-run outcome of an adaptive (or static) execution. */
@@ -109,7 +115,8 @@ class AdaptiveController
 RunStats runStatic(const workload::Workload &wl,
                    const space::Configuration &config,
                    std::uint64_t max_instructions,
-                   std::uint64_t interval_length = 10000);
+                   std::uint64_t interval_length = 10000,
+                   workload::TraceCache *trace_cache = nullptr);
 
 } // namespace adaptsim::control
 

@@ -316,12 +316,13 @@ EvalRepository::simulate(const PhaseSpec &spec,
             spec.startInst - spec.warmLength :
             0;
     if (spec.warmLength > 0) {
-        const auto warm = wl.generate(warm_start, spec.warmLength);
-        core.warm(warm);
+        const auto warm =
+            traceCache_.get(wl, warm_start, spec.warmLength);
+        core.warm(*warm);
     }
     const auto trace =
-        wl.generate(spec.startInst, spec.detailLength);
-    const auto result = core.run(trace);
+        traceCache_.get(wl, spec.startInst, spec.detailLength);
+    const auto result = core.run(*trace);
     const auto m = power::computeMetrics(cc, result.events);
 
     EvalRecord r;
@@ -408,7 +409,10 @@ EvalRepository::profile(const PhaseSpec &spec)
         }
     }
 
-    // Try the disk cache.
+    // Try the disk cache.  A truncated or stale file (torn write,
+    // feature-set change) must not be accepted just because *some*
+    // doubles parsed: both vectors have to match the expected
+    // dimensions exactly, or we fall back to re-simulation.
     {
         std::ifstream in(profilePath(spec));
         if (in) {
@@ -423,12 +427,27 @@ EvalRepository::profile(const PhaseSpec &spec)
                     v.push_back(x);
                 return !v.empty();
             };
-            if (read_line(rec.basic) && read_line(rec.advanced)) {
+            const bool parsed =
+                read_line(rec.basic) && read_line(rec.advanced);
+            const std::size_t want_basic = counters::featureDimension(
+                counters::FeatureSet::Basic);
+            const std::size_t want_advanced =
+                counters::featureDimension(
+                    counters::FeatureSet::Advanced);
+            if (parsed && rec.basic.size() == want_basic &&
+                rec.advanced.size() == want_advanced) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++hits_;
                 OBS_ONLY(repoMetrics().hit.add(1);)
                 profiles_[spec.key()] = rec;
                 return rec;
+            }
+            if (parsed) {
+                warn("profile cache ", profilePath(spec),
+                     ": feature dimensions ", rec.basic.size(), "/",
+                     rec.advanced.size(), " (expected ", want_basic,
+                     "/", want_advanced,
+                     "); re-simulating the profile");
             }
         }
     }
@@ -449,12 +468,13 @@ EvalRepository::profile(const PhaseSpec &spec)
             spec.startInst - spec.warmLength :
             0;
     if (spec.warmLength > 0)
-        core.warm(wl.generate(warm_start, spec.warmLength));
+        core.warm(*traceCache_.get(wl, warm_start,
+                                   spec.warmLength));
 
     counters::CounterBank bank(cc);
     const auto trace =
-        wl.generate(spec.startInst, spec.detailLength);
-    const auto result = core.run(trace, &bank);
+        traceCache_.get(wl, spec.startInst, spec.detailLength);
+    const auto result = core.run(*trace, &bank);
     bank.finalise(result.events);
 
     ProfileRecord rec;
@@ -553,6 +573,10 @@ EvalRepository::stats() const
     s.migrated = migrated_;
     s.dropped = dropped_;
     s.simSeconds = simSeconds_;
+    const auto tc = traceCache_.stats();
+    s.traceHits = tc.hits;
+    s.traceMisses = tc.misses;
+    s.traceEvictions = tc.evictions;
     return s;
 }
 
@@ -569,6 +593,12 @@ EvalRepository::statsSummary() const
         os << ", " << s.migrated << " migrated";
     if (s.dropped > 0)
         os << ", " << s.dropped << " dropped";
+    if (s.traceHits + s.traceMisses > 0) {
+        os << "; traces " << s.traceHits << " replayed / "
+           << s.traceMisses << " generated";
+        if (s.traceEvictions > 0)
+            os << " (" << s.traceEvictions << " evicted)";
+    }
     return os.str();
 }
 

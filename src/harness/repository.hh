@@ -31,6 +31,7 @@
 #include "counters/feature_vector.hh"
 #include "harness/thread_pool.hh"
 #include "space/configuration.hh"
+#include "workload/trace_cache.hh"
 #include "workload/workload.hh"
 
 namespace adaptsim::harness
@@ -82,6 +83,10 @@ struct CacheStats
     std::uint64_t migrated = 0;    ///< records adopted from legacy CSV
     std::uint64_t dropped = 0;     ///< malformed/corrupt records skipped
     double simSeconds = 0.0;       ///< wall time spent simulating
+
+    std::uint64_t traceHits = 0;       ///< interval traces replayed
+    std::uint64_t traceMisses = 0;     ///< interval traces generated
+    std::uint64_t traceEvictions = 0;  ///< traces dropped by the LRU
 };
 
 /** Memoising simulation evaluator shared by all benches. */
@@ -129,6 +134,9 @@ class EvalRepository
     std::size_t flushEvery() const { return flushEvery_; }
     void setFlushEvery(std::size_t n);
 
+    /** The interval-trace cache shared by all worker threads. */
+    workload::TraceCache &traceCache() { return traceCache_; }
+
   private:
     struct PhaseCache
     {
@@ -160,6 +168,10 @@ class EvalRepository
     std::vector<workload::Workload> suite_;
     std::string dataDir_;
     ThreadPool pool_;
+
+    /** One trace per (phase × {warm, detail}) regardless of how
+     *  many configurations replay it (thread-safe internally). */
+    workload::TraceCache traceCache_;
 
     /** Serializes evaluateBatch calls from distinct user threads so
      *  concurrent gathers can share one repository. */

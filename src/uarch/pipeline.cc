@@ -23,22 +23,46 @@ Pipeline::Pipeline(const CoreConfig &cfg, CacheHierarchy &caches,
       rob_(cfg.robSize), iq_(cfg.iqSize), lsq_(cfg.lsqSize),
       rfInt_(cfg.rfSize), rfFp_(cfg.rfSize), fus_(cfg),
       wbStamp_(wbRingSize, ~Cycles(0)),
-      wbCount_(wbRingSize, 0)
+      wbCount_(wbRingSize, 0),
+      wbPorts_(static_cast<std::uint16_t>(cfg.rfWrPorts))
 {
     frontQCapacity_ = static_cast<std::size_t>(cfg.width) *
                       (cfg.frontendDelay + 1);
+    issuedPositions_.reserve(static_cast<std::size_t>(cfg.width));
 }
 
 bool
-Pipeline::producersReady(const RobEntry &e) const
+Pipeline::producersReady(RobEntry &e) const
 {
+    // Memoised fast path: producers were walked before and cannot
+    // be ready yet.  Safe because producers are strictly older than
+    // their consumers (rename resolves to older slots only), so a
+    // live consumer implies its producers were never squashed, and
+    // doneCycle is fixed once an op issues.
+    if (e.readyAt > now_)
+        return false;
+
+    Cycles bound = 0;
     const auto ready = [&](std::int32_t idx, std::uint32_t seq) {
         if (idx < 0 || !rob_.valid(idx, seq))
             return true;   // no producer, or producer committed
         const RobEntry &p = rob_.entry(idx);
-        return p.state == OpState::Done && p.doneCycle <= now_;
+        if (p.state == OpState::Done && p.doneCycle <= now_)
+            return true;
+        // Not ready: derive the earliest possible ready cycle.  A
+        // dispatched producer has no completion time yet, so the
+        // bound is just "recheck next cycle".
+        const Cycles b = p.state == OpState::Dispatched ?
+            now_ + 1 : p.doneCycle;
+        bound = std::max(bound, b);
+        return false;
     };
-    return ready(e.prod0, e.prod0Seq) && ready(e.prod1, e.prod1Seq);
+    const bool r0 = ready(e.prod0, e.prod0Seq);
+    const bool r1 = ready(e.prod1, e.prod1Seq);
+    if (r0 && r1)
+        return true;
+    e.readyAt = bound;
+    return false;
 }
 
 int
@@ -80,8 +104,7 @@ Pipeline::arbitrateWriteback(Cycles earliest)
             wbStamp_[slot] = c;
             wbCount_[slot] = 0;
         }
-        if (wbCount_[slot] <
-            static_cast<std::uint16_t>(cfg_.rfWrPorts)) {
+        if (wbCount_[slot] < wbPorts_) {
             ++wbCount_[slot];
             return c;
         }
@@ -274,7 +297,7 @@ Pipeline::issueStage()
     fus_.beginCycle(now_);
     rdPortsUsed_ = 0;
     int issued = 0;
-    std::vector<std::size_t> issued_positions;
+    issuedPositions_.clear();
 
     const auto &slots = iq_.slots();
     for (std::size_t pos = 0;
@@ -346,10 +369,10 @@ Pipeline::issueStage()
         e.inIq = false;
         if (e.speculative)
             --iqSpec_;
-        issued_positions.push_back(pos);
+        issuedPositions_.push_back(pos);
         ++issued;
     }
-    iq_.removeAt(issued_positions);
+    iq_.removeAt(issuedPositions_);
     return issued > 0;
 }
 
@@ -381,6 +404,7 @@ Pipeline::dispatchStage()
         e.mispredicted = f.mispredicted;
         e.histSnapshot = f.histSnapshot;
         e.speculative = unresolvedRobBranches_ > 0;
+        e.readyAt = 0;   // slots recycle without clearing
         ++ev_.robWrites;
 
         // Resolve producers through the rename tables.  Register 0 is

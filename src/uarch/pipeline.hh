@@ -96,7 +96,9 @@ class Pipeline
     void squashAfter(std::int32_t branch_idx);
     void rebuildRenameAndCounts();
     int execLatency(RobEntry &e);
-    bool producersReady(const RobEntry &e) const;
+    /** True when both producers are done; otherwise memoizes the
+     *  earliest cycle the entry could issue into e.readyAt. */
+    bool producersReady(RobEntry &e) const;
     Cycles arbitrateWriteback(Cycles earliest);
     void observeCycle(std::uint64_t repeat);
     Cycles nextEventCycle() const;
@@ -132,6 +134,11 @@ class Pipeline
     static constexpr std::size_t wbRingSize = 1u << 14;
     std::vector<Cycles> wbStamp_;
     std::vector<std::uint16_t> wbCount_;
+    std::uint16_t wbPorts_ = 0;   ///< cfg_.rfWrPorts, hoisted
+
+    /** Issue-scan scratch (hoisted so the inner loop never
+     *  heap-allocates; cleared each cycle). */
+    std::vector<std::size_t> issuedPositions_;
 
     std::span<const isa::MicroOp> trace_;
     std::size_t traceIdx_ = 0;
@@ -139,7 +146,6 @@ class Pipeline
     Cycles now_ = 0;
     Cycles fetchStallUntil_ = 0;
     bool wrongPathMode_ = false;
-    bool skipNextIcacheCheck_ = false;
     Addr lastFetchLine_ = invalidAddr;
 
     int inFlightBranches_ = 0;      ///< fetched, not resolved/squashed
@@ -149,7 +155,6 @@ class Pipeline
 
     // Per-cycle port usage (reset each cycle, read by the observer).
     int rdPortsUsed_ = 0;
-    int wrPortsUsedNow_ = 0;
 
     EventCounts ev_;
 };

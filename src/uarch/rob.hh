@@ -41,6 +41,10 @@ struct RobEntry
     bool forwarded = false;       ///< load satisfied by a store
     std::uint32_t histSnapshot = 0; ///< bpred history before branch
     Cycles doneCycle = 0;
+    /** Producer-readiness memo: the entry cannot issue before this
+     *  cycle, so the IQ scan skips it without re-walking both
+     *  producers (reset at dispatch, updated by the scan). */
+    Cycles readyAt = 0;
     // Producer references for wakeup: ROB slot + its seq at dispatch.
     std::int32_t prod0 = -1, prod1 = -1;
     std::uint32_t prod0Seq = 0, prod1Seq = 0;

@@ -1,12 +1,40 @@
 #include "workload/trace_cache.hh"
 
-#include <sstream>
+#include "common/env.hh"
+#include "obs/obs.hh"
 
 namespace adaptsim::workload
 {
 
+#if ADAPTSIM_OBS_ENABLED
+
+namespace
+{
+
+/** Process-wide mirror of per-instance cache activity. */
+struct TraceCacheMetrics
+{
+    obs::Counter &hits =
+        obs::Registry::global().counter("tracecache/hits");
+    obs::Counter &misses =
+        obs::Registry::global().counter("tracecache/misses");
+    obs::Counter &evictions =
+        obs::Registry::global().counter("tracecache/evictions");
+};
+
+TraceCacheMetrics &
+traceCacheMetrics()
+{
+    static TraceCacheMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+#endif // ADAPTSIM_OBS_ENABLED
+
 TraceCache::TraceCache(std::size_t capacity)
-    : capacity_(capacity ? capacity : 1)
+    : capacity_(capacity ? capacity : traceCacheCapacity())
 {
 }
 
@@ -14,18 +42,23 @@ TracePtr
 TraceCache::get(const Workload &wl, std::uint64_t start,
                 std::uint64_t count)
 {
-    std::ostringstream key_os;
-    key_os << wl.name() << ':' << start << ':' << count;
-    const std::string key = key_os.str();
+    const TraceKey key{wl.uid(), start, count};
 
-    auto it = map_.find(key);
+    // Generation happens under the lock on purpose: concurrent
+    // workers asking for the same interval (the common gather
+    // pattern) block briefly and then hit, instead of all paying
+    // the generation cost in parallel.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
     if (it != map_.end()) {
-        ++hits_;
+        ++stats_.hits;
+        OBS_ONLY(traceCacheMetrics().hits.add(1);)
         lru_.splice(lru_.begin(), lru_, it->second);
         return it->second->trace;
     }
 
-    ++misses_;
+    ++stats_.misses;
+    OBS_ONLY(traceCacheMetrics().misses.add(1);)
     auto trace = std::make_shared<const std::vector<isa::MicroOp>>(
         wl.generate(start, count));
     lru_.push_front(Entry{key, trace});
@@ -34,8 +67,45 @@ TraceCache::get(const Workload &wl, std::uint64_t start,
     while (map_.size() > capacity_) {
         map_.erase(lru_.back().key);
         lru_.pop_back();
+        ++stats_.evictions;
+        OBS_ONLY(traceCacheMetrics().evictions.add(1);)
     }
     return trace;
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::uint64_t
+TraceCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.hits;
+}
+
+std::uint64_t
+TraceCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.misses;
+}
+
+std::uint64_t
+TraceCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.evictions;
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
 }
 
 } // namespace adaptsim::workload

@@ -4,7 +4,20 @@
  *
  * During training-data gathering each phase's trace is replayed under
  * O(100) configurations; caching the generated µops makes replay the
- * only per-configuration cost.
+ * only per-configuration cost.  The cache is thread-safe (one
+ * internal mutex) so a single instance can be shared by every
+ * ThreadPool worker of a gather: the first worker to need a trace
+ * generates it while the others block on the lock and then hit, so
+ * each distinct (workload, start, count) interval is generated
+ * exactly once per residency.
+ *
+ * Lookups are keyed by a cheap POD TraceKey — the workload's 64-bit
+ * uid plus the interval bounds — rather than a per-lookup string
+ * build, so a cache hit costs one hash of three integers.
+ *
+ * Capacity comes from ADAPTSIM_TRACE_CACHE (default 48, clamped to
+ * at least 1; see common/env).  Hits, misses and evictions are
+ * mirrored into the obs registry under the tracecache/ prefix.
  */
 
 #ifndef ADAPTSIM_WORKLOAD_TRACE_CACHE_HH
@@ -13,7 +26,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <string>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,11 +39,51 @@ namespace adaptsim::workload
 /** A generated interval trace shared between simulations. */
 using TracePtr = std::shared_ptr<const std::vector<isa::MicroOp>>;
 
-/** LRU cache of interval traces keyed by (workload, start, count). */
+/** POD cache key: workload uid + interval bounds. */
+struct TraceKey
+{
+    std::uint64_t wid = 0;    ///< Workload::uid()
+    std::uint64_t start = 0;
+    std::uint64_t count = 0;
+
+    bool operator==(const TraceKey &) const = default;
+};
+
+/** Mixing hash over the three key words (splitmix64 finalizer). */
+struct TraceKeyHash
+{
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    std::size_t
+    operator()(const TraceKey &k) const
+    {
+        return static_cast<std::size_t>(
+            mix(k.wid ^ mix(k.start ^ mix(k.count))));
+    }
+};
+
+/** Running counters of cache activity (see TraceCache::stats()). */
+struct TraceCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** Thread-safe LRU cache of interval traces. */
 class TraceCache
 {
   public:
-    explicit TraceCache(std::size_t capacity = 48);
+    /** @param capacity max resident traces; 0 means "use the
+     *  ADAPTSIM_TRACE_CACHE env default" (itself clamped to >= 1). */
+    explicit TraceCache(std::size_t capacity = 0);
 
     /**
      * Fetch (generating if needed) the trace of @p count µops of
@@ -39,22 +92,26 @@ class TraceCache
     TracePtr get(const Workload &wl, std::uint64_t start,
                  std::uint64_t count);
 
-    std::size_t size() const { return map_.size(); }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+    TraceCacheStats stats() const;
+    std::size_t capacity() const { return capacity_; }
 
   private:
     struct Entry
     {
-        std::string key;
+        TraceKey key;
         TracePtr trace;
     };
 
     std::size_t capacity_;
+    mutable std::mutex mutex_;
     std::list<Entry> lru_;  ///< front = most recent
-    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    std::unordered_map<TraceKey, std::list<Entry>::iterator,
+                       TraceKeyHash> map_;
+    TraceCacheStats stats_;
 };
 
 } // namespace adaptsim::workload

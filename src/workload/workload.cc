@@ -3,14 +3,16 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 
 namespace adaptsim::workload
 {
 
 Workload::Workload(std::string name, std::vector<Segment> segments,
                    std::uint64_t seed)
-    : name_(std::move(name)), segments_(std::move(segments)),
-      totalLength_(0), seed_(seed)
+    : name_(std::move(name)),
+      uid_(fnv1a64(name_.data(), name_.size())),
+      segments_(std::move(segments)), totalLength_(0), seed_(seed)
 {
     if (segments_.empty())
         fatal("workload ", name_, " has no segments");

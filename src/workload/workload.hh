@@ -45,6 +45,12 @@ class Workload
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Stable 64-bit identity (FNV-1a of the name), cheap enough to
+     * key per-lookup cache structures without string building.
+     */
+    std::uint64_t uid() const { return uid_; }
+
     /** Total dynamic µop count of the program. */
     std::uint64_t totalInstructions() const { return totalLength_; }
 
@@ -74,6 +80,7 @@ class Workload
     std::uint32_t kernelIdOf(std::size_t segment_index) const;
 
     std::string name_;
+    std::uint64_t uid_;
     std::vector<Segment> segments_;
     std::vector<std::uint64_t> segmentStart_; ///< cumulative offsets
     std::uint64_t totalLength_;

@@ -67,6 +67,39 @@ TEST(Controller, AdaptiveRunExecutesEverything)
               controller.phasePredictions().size());
 }
 
+TEST(Controller, TraceCachedRunsMatchUncachedBitExactly)
+{
+    // Both controller entry points accept an optional shared trace
+    // cache; replayed traces must leave every statistic identical.
+    const auto wl = workload::specBenchmark("gzip", 100000);
+    workload::TraceCache cache;
+
+    const auto plain = runStatic(
+        wl, harness::paperBaselineConfig(), 30000, 5000);
+    const auto cached = runStatic(
+        wl, harness::paperBaselineConfig(), 30000, 5000, &cache);
+    EXPECT_EQ(cached.seconds, plain.seconds);
+    EXPECT_EQ(cached.joules, plain.joules);
+    EXPECT_EQ(cached.instructions, plain.instructions);
+    EXPECT_EQ(cache.misses(), 6u);   // one generation per interval
+
+    const auto model = dummyModel();
+    ControllerOptions opt;
+    opt.intervalLength = 5000;
+    opt.initialConfig = harness::paperBaselineConfig();
+    AdaptiveController uncached_ctl(wl, model, opt);
+    const auto a = uncached_ctl.run(30000);
+    opt.traceCache = &cache;   // pre-warmed by the static runs
+    AdaptiveController cached_ctl(wl, model, opt);
+    const auto b = cached_ctl.run(30000);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.joules, b.joules);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.intervals, b.intervals);
+    EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+    EXPECT_EQ(cache.misses(), 6u);   // adaptive run was all hits
+}
+
 TEST(Controller, ReconfiguresOncePerNewPhaseAtMost)
 {
     const auto wl = workload::specBenchmark("gap", 200000);

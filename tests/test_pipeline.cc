@@ -312,3 +312,45 @@ TEST(Pipeline, MispredictRecoveryPromptDespiteWrongPathMisses)
     // The regression being guarded against adds roughly one memory
     // latency per mispredict (~20 x memLatency ≈ 3400 cycles here).
 }
+
+TEST(Pipeline, GoldenResultsAreFrozen)
+{
+    // Exact SimResult values captured from the reference build
+    // across a width/IQ matrix of benchmarks.  Any timing-model
+    // change that alters these is NOT a pure optimisation: hot-loop
+    // work (trace caching, producer-readiness memoisation, scratch
+    // hoisting) must reproduce them bit-for-bit.
+    struct Golden
+    {
+        const char *bench;
+        int width;
+        int iq;   ///< -1 keeps the baseline IQ size
+        std::uint64_t cycles;
+        std::uint64_t committedOps;
+        std::uint64_t mispredicts;
+        std::uint64_t dcMisses;
+        std::uint64_t wrongPathOps;
+    };
+    const Golden goldens[] = {
+        {"eon", 4, -1, 4609ull, 4000ull, 13ull, 104ull, 381ull},
+        {"gcc", 4, -1, 12152ull, 4000ull, 232ull, 816ull, 9580ull},
+        {"mcf", 4, -1, 18507ull, 4000ull, 56ull, 1675ull, 3497ull},
+        {"swim", 2, -1, 7212ull, 4000ull, 28ull, 422ull, 596ull},
+        {"crafty", 4, 8, 9674ull, 4000ull, 196ull, 159ull, 8188ull},
+        {"sixtrack", 8, -1, 4438ull, 4000ull, 13ull, 103ull,
+         934ull},
+        {"art", 4, 16, 5927ull, 4000ull, 6ull, 246ull, 249ull},
+    };
+    for (const auto &g : goldens) {
+        auto cfg = harness::paperBaselineConfig();
+        cfg.setValue(space::Param::Width, g.width);
+        if (g.iq > 0)
+            cfg.setValue(space::Param::IqSize, g.iq);
+        const auto r = runOn(g.bench, cfg);
+        EXPECT_EQ(r.cycles, g.cycles) << g.bench;
+        EXPECT_EQ(r.events.committedOps, g.committedOps) << g.bench;
+        EXPECT_EQ(r.events.mispredicts, g.mispredicts) << g.bench;
+        EXPECT_EQ(r.events.dcMisses, g.dcMisses) << g.bench;
+        EXPECT_EQ(r.events.wrongPathOps, g.wrongPathOps) << g.bench;
+    }
+}

@@ -12,6 +12,7 @@
 
 #include "common/rng.hh"
 #include "common/serial.hh"
+#include "counters/feature_vector.hh"
 #include "harness/gather.hh"
 #include "harness/repository.hh"
 #include "space/sampling.hh"
@@ -315,6 +316,75 @@ TEST_F(RepositoryTest, ConcurrentGathersShareOneRepository)
     for (std::size_t i = 0; i < configs.size(); ++i)
         EXPECT_TRUE(bitIdentical(again[i], r1[i]));
     EXPECT_EQ(repo.simulationsRun(), sims);
+}
+
+TEST_F(RepositoryTest, TraceCacheReplayIsBitExact)
+{
+    Rng rng(13);
+    const auto configs = space::uniformRandomSet(rng, 4);
+
+    // Shared-cache repo: from the second config on, both the warm
+    // and detail traces replay from the trace cache.
+    EvalRepository cached(workload::specSuite(60000),
+                          dir_ + "/cached", 0);
+    // Thrashing repo: a capacity-1 trace cache means the detail
+    // interval evicts the warm interval every simulation, so each
+    // evaluation regenerates both traces — the cache-off baseline.
+    setenv("ADAPTSIM_TRACE_CACHE", "1", 1);
+    EvalRepository regen(workload::specSuite(60000),
+                         dir_ + "/regen", 0);
+    unsetenv("ADAPTSIM_TRACE_CACHE");
+    ASSERT_EQ(regen.traceCache().capacity(), 1u);
+
+    for (const auto &cfg : configs) {
+        const auto a = cached.evaluate(spec(), cfg);
+        const auto b = regen.evaluate(spec(), cfg);
+        EXPECT_TRUE(bitIdentical(a, b));
+    }
+    // Sanity: the shared cache actually replayed, the thrashing
+    // cache actually regenerated.
+    EXPECT_GT(cached.stats().traceHits, 0u);
+    EXPECT_EQ(regen.stats().traceHits, 0u);
+    EXPECT_GT(regen.stats().traceMisses,
+              cached.stats().traceMisses);
+}
+
+TEST_F(RepositoryTest, TruncatedProfileIsReSimulated)
+{
+    ProfileRecord good;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        good = repo.profile(spec());
+    }
+    ASSERT_EQ(good.basic.size(), counters::featureDimension(
+                                     counters::FeatureSet::Basic));
+    ASSERT_EQ(good.advanced.size(),
+              counters::featureDimension(
+                  counters::FeatureSet::Advanced));
+
+    // Truncate the advanced line: some doubles still parse, so the
+    // old loader would have accepted a short vector and poisoned
+    // every later feature assembly.
+    const std::string path = dir_ + "/" + spec().key() + ".features";
+    {
+        std::ifstream in(path);
+        std::string basic_line;
+        ASSERT_TRUE(std::getline(in, basic_line));
+        std::ofstream out(path, std::ios::trunc);
+        out << basic_line << "\n1.0 2.0 3.0\n";
+    }
+
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto again = repo.profile(spec());
+    EXPECT_EQ(repo.simulationsRun(), 1u);   // fell back, re-simulated
+    ASSERT_EQ(again.advanced.size(), good.advanced.size());
+    for (std::size_t i = 0; i < good.advanced.size(); ++i)
+        EXPECT_NEAR(again.advanced[i], good.advanced[i], 1e-6);
+
+    // The re-simulation repaired the on-disk record.
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    (void)repo2.profile(spec());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
 }
 
 TEST_F(RepositoryTest, UnknownWorkloadIsFatal)

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
 #include "workload/spec_suite.hh"
 #include "workload/trace_cache.hh"
 
@@ -62,6 +66,77 @@ TEST(TraceCache, DifferentWorkloadsDoNotCollide)
         same += (*ta)[i].opClass == (*tb)[i].opClass &&
                 (*ta)[i].pc == (*tb)[i].pc;
     EXPECT_LT(same, 40);
+}
+
+TEST(TraceCache, CapacityZeroUsesEnvDefault)
+{
+    setenv("ADAPTSIM_TRACE_CACHE", "3", 1);
+    TraceCache cache;   // 0 → env knob
+    EXPECT_EQ(cache.capacity(), 3u);
+    unsetenv("ADAPTSIM_TRACE_CACHE");
+    TraceCache dflt;
+    EXPECT_EQ(dflt.capacity(), 48u);
+}
+
+TEST(TraceCache, CapacityOneStillServesHits)
+{
+    const auto wl = specBenchmark("gzip", 50000);
+    TraceCache cache(1);
+    (void)cache.get(wl, 0, 64);
+    const auto a = cache.get(wl, 0, 64);   // resident → hit
+    EXPECT_EQ(cache.hits(), 1u);
+    (void)cache.get(wl, 64, 64);           // evicts the only entry
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    // The evicted trace stays alive through the shared_ptr.
+    EXPECT_EQ(a->size(), 64u);
+    (void)cache.get(wl, 0, 64);            // re-generated
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(TraceCache, StatsSnapshotIsConsistent)
+{
+    const auto wl = specBenchmark("gzip", 50000);
+    TraceCache cache(2);
+    (void)cache.get(wl, 0, 32);
+    (void)cache.get(wl, 0, 32);
+    (void)cache.get(wl, 32, 32);
+    (void)cache.get(wl, 64, 32);   // eviction
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(TraceCache, SharedAcrossThreads)
+{
+    // Hammer one small cache from several threads: every returned
+    // trace for a key must be bit-identical, and each distinct key
+    // is generated at most once per residency.  Run under TSan via
+    // scripts/tier1.sh to prove the locking discipline.
+    const auto wl = specBenchmark("mcf", 50000);
+    TraceCache cache(8);
+    constexpr int threads = 4;
+    constexpr int rounds = 32;
+    std::vector<std::vector<TracePtr>> got(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int r = 0; r < rounds; ++r)
+                got[t].push_back(
+                    cache.get(wl, (r % 4) * 100, 100));
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    // 4 distinct keys, capacity 8: generated exactly once each.
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.hits(),
+              static_cast<std::uint64_t>(threads * rounds - 4));
+    for (int t = 1; t < threads; ++t)
+        for (int r = 0; r < rounds; ++r)
+            EXPECT_EQ(got[t][r].get(), got[0][r].get());
 }
 
 TEST(TraceCache, ContentMatchesDirectGeneration)
