@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Backend seam throughput: the same gcc trace through the interval
+ * analysis backend and the cycle-level reference (fresh session per
+ * repetition, fixed trace).  Emits one JSON object per backend, so
+ * BENCH_perf.json carries the cycle-vs-interval speedup every run.
+ */
+
+#include "perf_harness.hh"
+
+#include "harness/gather.hh"
+#include "sim/perf_model.hh"
+#include "uarch/core_config.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+namespace
+{
+
+std::vector<double>
+timeBackend(const perf::PerfOptions &opt, const sim::PerfModel &model,
+            const workload::Workload &wl, const uarch::CoreConfig &cc,
+            std::span<const isa::MicroOp> warm_trace,
+            std::span<const isa::MicroOp> trace, double &items)
+{
+    return perf::runTimed(opt, items, [&]() {
+        workload::WrongPathGenerator wp(wl.averageParams(),
+                                        wl.seed() ^ 0x57a71cULL);
+        const auto session = model.makeSession(cc, wp);
+        session->warm(warm_trace);
+        const auto r = model.run(*session, trace);
+        return static_cast<double>(r.events.committedOps);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+    const std::uint64_t detail = opt.smoke ? 20000 : 120000;
+    const std::uint64_t warm = opt.smoke ? 8000 : 24000;
+
+    const auto wl = workload::specBenchmark("gcc", 400000);
+    const auto cfg = harness::paperBaselineConfig();
+    const auto cc = uarch::CoreConfig::fromConfiguration(cfg);
+    const auto warm_trace = wl.generate(40000 - warm, warm);
+    const auto trace = wl.generate(40000, detail);
+
+    double items = 0.0;
+    const auto interval_secs =
+        timeBackend(opt, sim::perfModel("interval"), wl, cc,
+                    warm_trace, trace, items);
+    perf::emitJson("perf_interval", opt, interval_secs, items,
+                   "uops");
+
+    const auto cycle_secs =
+        timeBackend(opt, sim::perfModel("cycle"), wl, cc, warm_trace,
+                    trace, items);
+    perf::emitJson("perf_interval_cycle_ref", opt, cycle_secs, items,
+                   "uops");
+    return 0;
+}

@@ -17,7 +17,8 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${BENCH_OUT:-BENCH_perf.json}"
-BENCHES=(perf_pipeline perf_tracegen perf_gather perf_train)
+BENCHES=(perf_pipeline perf_interval perf_tracegen perf_gather
+         perf_train)
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
@@ -27,11 +28,17 @@ cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
     echo '  "benchmarks": ['
     first=1
     for bench in "${BENCHES[@]}"; do
-        line="$("$BUILD_DIR/bench/perf/$bench" "$@")"
-        [ -n "$line" ] || { echo "perf: $bench emitted nothing" >&2;
-                            exit 1; }
-        if [ "$first" -eq 1 ]; then first=0; else echo ','; fi
-        printf '    %s' "$line"
+        out="$("$BUILD_DIR/bench/perf/$bench" "$@")"
+        [ -n "$out" ] || { echo "perf: $bench emitted nothing" >&2;
+                           exit 1; }
+        # A binary may emit several measurements (perf_interval
+        # reports the interval backend and its cycle-level
+        # reference), one JSON object per line.
+        while IFS= read -r line; do
+            [ -n "$line" ] || continue
+            if [ "$first" -eq 1 ]; then first=0; else echo ','; fi
+            printf '    %s' "$line"
+        done <<< "$out"
     done
     echo
     echo '  ]'

@@ -5,7 +5,7 @@
 #      containment objects, which compile with the main build
 #   2. ThreadSanitizer pass over the concurrency-critical tests
 #      (thread pool, shared simulation repository, shared trace
-#      cache, metrics registry)
+#      cache, metrics registry, perf-model backend registry)
 #   3. AddressSanitizer+UBSan pass over the full test suite
 #   4. -DADAPTSIM_OBS=OFF build proving the instrumentation compiles
 #      out cleanly
@@ -28,7 +28,8 @@ san_available() {
 cmake -B build -S .
 cmake --build build -j
 cmake --build build -j \
-    --target perf_pipeline perf_tracegen perf_gather perf_train
+    --target perf_pipeline perf_interval perf_tracegen perf_gather \
+             perf_train
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # 2. TSan over the concurrency tests.
@@ -36,9 +37,9 @@ if san_available thread; then
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
         --target test_thread_pool test_repository test_trace_cache \
-                 test_obs
+                 test_obs test_sim
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs'
+        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$'
 else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi

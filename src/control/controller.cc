@@ -16,19 +16,24 @@ AdaptiveController::AdaptiveController(const workload::Workload &wl,
                                        const ml::AdaptivityModel &model,
                                        const ControllerOptions &options)
     : wl_(wl), model_(model), opt_(options),
+      backend_(options.backend ? *options.backend
+                               : sim::defaultPerfModel()),
+      profileBackend_(backend_.supportsObservers()
+                          ? backend_
+                          : sim::perfModel("cycle")),
       wrongPath_(wl.averageParams(), wl.seed() ^ 0x771ULL),
       detector_(options.detectorThreshold)
 {
 }
 
 void
-AdaptiveController::runInterval(uarch::Core &core,
+AdaptiveController::runInterval(sim::CoreSession &session,
                                 std::span<const isa::MicroOp> trace,
                                 uarch::SimObserver *observer,
                                 RunStats &stats)
 {
-    const auto result = core.run(trace, observer);
-    const auto m = power::computeMetrics(core.config(),
+    const auto result = backend_.run(session, trace, observer);
+    const auto m = power::computeMetrics(session.config(),
                                          result.events);
     stats.seconds += m.seconds;
     stats.joules += m.joules;
@@ -45,13 +50,13 @@ AdaptiveController::run(std::uint64_t max_instructions)
 
     space::Configuration current = opt_.initialConfig;
     auto current_cc = uarch::CoreConfig::fromConfiguration(current);
-    auto core =
-        std::make_unique<uarch::Core>(current_cc, wrongPath_);
+    auto core = backend_.makeSession(current_cc, wrongPath_);
 
     const auto profiling = space::Configuration::profiling();
     const auto profiling_cc =
         uarch::CoreConfig::fromConfiguration(profiling);
-    uarch::Core profiling_core(profiling_cc, wrongPath_);
+    const auto profiling_core =
+        profileBackend_.makeSession(profiling_cc, wrongPath_);
 
     // Interval traces come from the shared cache when one is
     // configured (replayed comparison runs regenerate nothing).
@@ -80,7 +85,8 @@ AdaptiveController::run(std::uint64_t max_instructions)
             uarch::SimResult prof;
             {
                 OBS_SPAN("control/profile");
-                prof = profiling_core.run(trace, &bank);
+                prof = profileBackend_.run(*profiling_core, trace,
+                                           &bank);
             }
             bank.finalise(prof.events);
             const auto m = power::computeMetrics(profiling_cc,
@@ -127,10 +133,9 @@ AdaptiveController::run(std::uint64_t max_instructions)
             current = target;
             current_cc =
                 uarch::CoreConfig::fromConfiguration(current);
-            // Reconfiguration flushes the caches: a fresh core
+            // Reconfiguration flushes the caches: a fresh session
             // models the post-flush cold state.
-            core = std::make_unique<uarch::Core>(current_cc,
-                                                 wrongPath_);
+            core = backend_.makeSession(current_cc, wrongPath_);
         }
 
         if (obs.newPhase)
@@ -154,13 +159,16 @@ runStatic(const workload::Workload &wl,
           const space::Configuration &config,
           std::uint64_t max_instructions,
           std::uint64_t interval_length,
-          workload::TraceCache *trace_cache)
+          workload::TraceCache *trace_cache,
+          const sim::PerfModel *backend)
 {
     RunStats stats;
+    const sim::PerfModel &model =
+        backend ? *backend : sim::defaultPerfModel();
     workload::WrongPathGenerator wrong_path(wl.averageParams(),
                                             wl.seed() ^ 0x57a71cULL);
     const auto cc = uarch::CoreConfig::fromConfiguration(config);
-    uarch::Core core(cc, wrong_path);
+    const auto core = model.makeSession(cc, wrong_path);
 
     const std::uint64_t num_intervals =
         max_instructions / interval_length;
@@ -177,7 +185,7 @@ runStatic(const workload::Workload &wl,
                 wl.generate(i * interval_length, interval_length);
             trace = trace_local;
         }
-        const auto result = core.run(trace);
+        const auto result = model.run(*core, trace);
         const auto m = power::computeMetrics(cc, result.events);
         stats.seconds += m.seconds;
         stats.joules += m.joules;

@@ -23,7 +23,7 @@
 #include "counters/feature_vector.hh"
 #include "ml/trainer.hh"
 #include "phase/online_detector.hh"
-#include "uarch/core.hh"
+#include "sim/perf_model.hh"
 #include "workload/trace_cache.hh"
 #include "workload/workload.hh"
 
@@ -43,6 +43,12 @@ struct ControllerOptions
      *  same workload (static vs adaptive comparisons) then generate
      *  each interval once instead of once per run. */
     workload::TraceCache *traceCache = nullptr;
+
+    /** Performance-model backend for the execution intervals;
+     *  nullptr selects the ADAPTSIM_BACKEND default.  Profiling
+     *  intervals need observer callbacks, so a backend without
+     *  observer support profiles on the cycle-level model. */
+    const sim::PerfModel *backend = nullptr;
 };
 
 /** Whole-run outcome of an adaptive (or static) execution. */
@@ -93,14 +99,16 @@ class AdaptiveController
     }
 
   private:
-    /** Simulate one interval on @p core, accumulating stats. */
-    void runInterval(uarch::Core &core,
+    /** Simulate one interval on @p session, accumulating stats. */
+    void runInterval(sim::CoreSession &session,
                      std::span<const isa::MicroOp> trace,
                      uarch::SimObserver *observer, RunStats &stats);
 
     const workload::Workload &wl_;
     const ml::AdaptivityModel &model_;
     ControllerOptions opt_;
+    const sim::PerfModel &backend_;        ///< execution intervals
+    const sim::PerfModel &profileBackend_; ///< observer-capable
 
     workload::WrongPathGenerator wrongPath_;
     phase::OnlinePhaseDetector detector_;
@@ -111,12 +119,14 @@ class AdaptiveController
 /**
  * Reference point: execute @p max_instructions of @p wl on a fixed
  * @p config (caches and predictor stay warm across intervals).
+ * @p backend nullptr selects the ADAPTSIM_BACKEND default.
  */
 RunStats runStatic(const workload::Workload &wl,
                    const space::Configuration &config,
                    std::uint64_t max_instructions,
                    std::uint64_t interval_length = 10000,
-                   workload::TraceCache *trace_cache = nullptr);
+                   workload::TraceCache *trace_cache = nullptr,
+                   const sim::PerfModel *backend = nullptr);
 
 } // namespace adaptsim::control
 

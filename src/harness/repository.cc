@@ -13,7 +13,8 @@
 #include "common/serial.hh"
 #include "obs/obs.hh"
 #include "power/metrics.hh"
-#include "uarch/core.hh"
+#include "sim/cycle_level_model.hh"
+#include "sim/perf_model.hh"
 
 namespace adaptsim::harness
 {
@@ -23,13 +24,18 @@ namespace fs = std::filesystem;
 namespace
 {
 
-// On-disk cache format: 24-byte header + fixed 72-byte records,
-// everything little-endian and checksummed (see repository.hh).
+// On-disk cache format: 24-byte header + fixed 80-byte records
+// (config code, backend tag, seven doubles, checksum), everything
+// little-endian and checksummed (see repository.hh).  Version 1
+// lacked the backend-tag word; its 72-byte records are migrated as
+// cycle-level on load.
 constexpr char kMagic[8] = {'A', 'D', 'S', 'I', 'M', 'E', 'V', 'C'};
-constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kVersion = 2;
 constexpr std::size_t kHeaderSize = 24;
-constexpr std::size_t kRecordSize = 72;
+constexpr std::size_t kRecordSize = 80;
 constexpr std::size_t kRecordPayload = kRecordSize - 8;
+constexpr std::size_t kRecordSizeV1 = 72;
+constexpr std::size_t kRecordPayloadV1 = kRecordSizeV1 - 8;
 
 std::string
 encodeHeader()
@@ -41,11 +47,12 @@ encodeHeader()
 }
 
 void
-encodeRecord(std::string &out, std::uint64_t code,
+encodeRecord(std::string &out, const EvalKey &key,
              const EvalRecord &r)
 {
     const std::size_t start = out.size();
-    putU64(out, code);
+    putU64(out, key.code);
+    putU64(out, key.backendTag);
     putDouble(out, r.cycles);
     putDouble(out, r.instructions);
     putDouble(out, r.seconds);
@@ -57,16 +64,16 @@ encodeRecord(std::string &out, std::uint64_t code,
 }
 
 EvalRecord
-decodeRecord(const char *p)
+decodeDoubles(const char *p)
 {
     EvalRecord r;
-    r.cycles = getDouble(p + 8);
-    r.instructions = getDouble(p + 16);
-    r.seconds = getDouble(p + 24);
-    r.joules = getDouble(p + 32);
-    r.ipc = getDouble(p + 40);
-    r.watts = getDouble(p + 48);
-    r.efficiency = getDouble(p + 56);
+    r.cycles = getDouble(p);
+    r.instructions = getDouble(p + 8);
+    r.seconds = getDouble(p + 16);
+    r.joules = getDouble(p + 24);
+    r.ipc = getDouble(p + 32);
+    r.watts = getDouble(p + 40);
+    r.efficiency = getDouble(p + 48);
     return r;
 }
 
@@ -75,6 +82,18 @@ hasMagic(const std::string &bytes)
 {
     return bytes.size() >= sizeof(kMagic) &&
            std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+/** Header version of a cache image, or 0 when the header is absent,
+ *  unrecognised or corrupt (version 0 is never written). */
+std::uint64_t
+headerVersion(const std::string &bytes)
+{
+    if (!hasMagic(bytes) || bytes.size() < kHeaderSize)
+        return 0;
+    if (getU64(bytes.data() + 16) != fnv1a64(bytes.data(), 16))
+        return 0;
+    return getU64(bytes.data() + 8);
 }
 
 #if ADAPTSIM_OBS_ENABLED
@@ -175,14 +194,15 @@ EvalRepository::loadBinaryCache(const std::string &path,
              "be re-simulated)");
         return false;
     }
-    const std::uint64_t version = getU64(bytes.data() + 8);
-    const std::uint64_t check = getU64(bytes.data() + 16);
-    if (check != fnv1a64(bytes.data(), 16)) {
+    if (getU64(bytes.data() + 16) != fnv1a64(bytes.data(), 16)) {
         warn("cache ", path,
              ": corrupt header checksum; regenerating");
         return false;
     }
+    const std::uint64_t version = getU64(bytes.data() + 8);
     if (version != kVersion) {
+        // Version 1 is handled by loadV1Cache (migration), so this
+        // is an unknown — likely future — format.
         warn("cache ", path, ": format version ", version,
              " (expected ", kVersion, "); regenerating");
         return false;
@@ -199,7 +219,8 @@ EvalRepository::loadBinaryCache(const std::string &path,
             ++bad;
             continue;
         }
-        if (cache.records.emplace(getU64(p), decodeRecord(p)).second)
+        const EvalKey key{getU64(p + 8), getU64(p)};
+        if (cache.records.emplace(key, decodeDoubles(p + 16)).second)
             ++count;
     }
     const std::size_t tail = bytes.size() - off;
@@ -213,6 +234,58 @@ EvalRepository::loadBinaryCache(const std::string &path,
     loaded_ += count;
     OBS_ONLY(repoMetrics().loaded.add(count);)
     return true;
+}
+
+bool
+EvalRepository::loadV1Cache(const std::string &path,
+                            const std::string &bytes,
+                            PhaseCache &cache)
+{
+    // Version-1 records predate the backend seam: everything in them
+    // was produced by the cycle-level pipeline, so they migrate with
+    // the cycle-level tag and stay bit-exact.
+    std::size_t off = kHeaderSize;
+    std::size_t bad = 0;
+    std::size_t count = 0;
+    while (off + kRecordSizeV1 <= bytes.size()) {
+        const char *p = bytes.data() + off;
+        off += kRecordSizeV1;
+        if (getU64(p + kRecordPayloadV1) !=
+            fnv1a64(p, kRecordPayloadV1)) {
+            ++bad;
+            continue;
+        }
+        const EvalKey key{sim::CycleLevelModel::kCacheTag,
+                          getU64(p)};
+        if (cache.records.emplace(key, decodeDoubles(p + 8)).second)
+            ++count;
+    }
+    const std::size_t tail = bytes.size() - off;
+    if (bad > 0 || tail > 0) {
+        warn("cache ", path, ": dropped ", bad,
+             " corrupt record(s) and ", tail,
+             " torn tail byte(s); they will be re-simulated");
+        dropped_ += bad + (tail > 0 ? 1 : 0);
+        OBS_ONLY(repoMetrics().dropped.add(bad + (tail > 0 ? 1 : 0));)
+    }
+    if (count > 0)
+        inform("cache ", path, ": migrating ", count,
+               " format-1 record(s) to format ", kVersion);
+    return count > 0;
+}
+
+void
+EvalRepository::adoptRecords(const PhaseCache &from,
+                             PhaseCache &cache)
+{
+    for (const auto &[key, r] : from.records) {
+        if (cache.records.emplace(key, r).second) {
+            cache.unsaved.emplace_back(key, r);
+            ++unsavedTotal_;
+            ++migrated_;
+            OBS_ONLY(repoMetrics().migrated.add(1);)
+        }
+    }
 }
 
 void
@@ -236,8 +309,11 @@ EvalRepository::loadLegacyCsv(const std::string &path,
             r.joules >> comma >> r.ipc >> comma >> r.watts >>
             comma >> r.efficiency) {
             // The exact-format file wins when both know a config.
-            if (cache.records.emplace(code, r).second) {
-                cache.unsaved.emplace_back(code, r);
+            // CSV predates the backend seam: cycle-level records.
+            const EvalKey key{sim::CycleLevelModel::kCacheTag,
+                              code};
+            if (cache.records.emplace(key, r).second) {
+                cache.unsaved.emplace_back(key, r);
                 ++unsavedTotal_;
                 ++adopted;
             }
@@ -262,8 +338,18 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
 {
     cache.loaded = true;
     const std::string path = cachePath(spec);
-    cache.haveBinaryFile =
-        loadBinaryCache(path, readFile(path), cache);
+    const std::string bytes = readFile(path);
+    if (headerVersion(bytes) == 1) {
+        // Pre-seam file: adopt its records as cycle-level and leave
+        // haveBinaryFile false so the next flush atomically rewrites
+        // the whole file in the current format.
+        PhaseCache tmp;
+        if (loadV1Cache(path, bytes, tmp))
+            adoptRecords(tmp, cache);
+        cache.haveBinaryFile = false;
+    } else {
+        cache.haveBinaryFile = loadBinaryCache(path, bytes, cache);
+    }
 
     // Legacy (pre-format) cache: sniff the header, adopt whatever
     // records the new file does not already have, and queue them so
@@ -274,15 +360,12 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
         return;
     if (hasMagic(legacy_bytes)) {
         PhaseCache tmp;
-        if (loadBinaryCache(legacy, legacy_bytes, tmp)) {
-            for (const auto &[code, r] : tmp.records) {
-                if (cache.records.emplace(code, r).second) {
-                    cache.unsaved.emplace_back(code, r);
-                    ++unsavedTotal_;
-                    ++migrated_;
-                    OBS_ONLY(repoMetrics().migrated.add(1);)
-                }
-            }
+        const bool got =
+            headerVersion(legacy_bytes) == 1
+                ? loadV1Cache(legacy, legacy_bytes, tmp)
+                : loadBinaryCache(legacy, legacy_bytes, tmp);
+        if (got) {
+            adoptRecords(tmp, cache);
             cache.legacyPending = true;
         }
     } else {
@@ -301,7 +384,8 @@ EvalRepository::cacheFor(const PhaseSpec &spec)
 
 EvalRecord
 EvalRepository::simulate(const PhaseSpec &spec,
-                         const space::Configuration &config)
+                         const space::Configuration &config,
+                         const sim::PerfModel &backend)
 {
     const auto &wl = workload(spec.workload);
     // Each simulation gets its own wrong-path stream (the generator
@@ -309,7 +393,7 @@ EvalRepository::simulate(const PhaseSpec &spec,
     workload::WrongPathGenerator wrong_path(wl.averageParams(),
                                             wl.seed() ^ 0x57a71cULL);
     const auto cc = uarch::CoreConfig::fromConfiguration(config);
-    uarch::Core core(cc, wrong_path);
+    const auto session = backend.makeSession(cc, wrong_path);
 
     const std::uint64_t warm_start =
         spec.startInst >= spec.warmLength ?
@@ -318,11 +402,11 @@ EvalRepository::simulate(const PhaseSpec &spec,
     if (spec.warmLength > 0) {
         const auto warm =
             traceCache_.get(wl, warm_start, spec.warmLength);
-        core.warm(*warm);
+        session->warm(*warm);
     }
     const auto trace =
         traceCache_.get(wl, spec.startInst, spec.detailLength);
-    const auto result = core.run(*trace);
+    const auto result = backend.run(*session, *trace);
     const auto m = power::computeMetrics(cc, result.events);
 
     EvalRecord r;
@@ -338,13 +422,16 @@ EvalRepository::simulate(const PhaseSpec &spec,
 
 EvalRecord
 EvalRepository::evaluate(const PhaseSpec &spec,
-                         const space::Configuration &config)
+                         const space::Configuration &config,
+                         const sim::PerfModel *backend)
 {
-    const std::uint64_t code = config.encode();
+    const sim::PerfModel &model =
+        backend ? *backend : sim::defaultPerfModel();
+    const EvalKey key{model.cacheTag(), config.encode()};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto &cache = cacheFor(spec);
-        const auto it = cache.records.find(code);
+        const auto it = cache.records.find(key);
         if (it != cache.records.end()) {
             ++hits_;
             OBS_ONLY(repoMetrics().hit.add(1);)
@@ -356,7 +443,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     EvalRecord r;
     {
         OBS_SPAN("repo/simulate");
-        r = simulate(spec, config);
+        r = simulate(spec, config, model);
     }
     const double secs =
         std::chrono::duration<double>(
@@ -367,13 +454,14 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     std::lock_guard<std::mutex> lock(mutex_);
     simSeconds_ += secs;
     ++simulated_;
+    ++simulatedByBackend_[model.name()];
     auto &cache = cacheFor(spec);
     // Two threads may race to simulate the same config (simulation
     // is deterministic, so both results are identical); only the
     // first insert is queued for persistence.
-    const auto [it, inserted] = cache.records.emplace(code, r);
+    const auto [it, inserted] = cache.records.emplace(key, r);
     if (inserted) {
-        cache.unsaved.emplace_back(code, r);
+        cache.unsaved.emplace_back(key, r);
         if (++unsavedTotal_ >= flushEvery_)
             flushLocked();
     }
@@ -383,22 +471,40 @@ EvalRepository::evaluate(const PhaseSpec &spec,
 std::vector<EvalRecord>
 EvalRepository::evaluateBatch(
     const PhaseSpec &spec,
-    const std::vector<space::Configuration> &configs)
+    const std::vector<space::Configuration> &configs,
+    const sim::PerfModel *backend)
 {
     // Concurrent gathers may share one repository; the pool runs one
     // batch at a time, so callers queue here rather than racing into
-    // parallelFor.
+    // parallelFor.  The backend is resolved once so every evaluation
+    // of the batch uses the same model even if the env changes.
+    const sim::PerfModel &model =
+        backend ? *backend : sim::defaultPerfModel();
     std::lock_guard<std::mutex> batch(batchMutex_);
     std::vector<EvalRecord> out(configs.size());
     pool_.parallelFor(configs.size(), [&](std::size_t i) {
-        out[i] = evaluate(spec, configs[i]);
+        out[i] = evaluate(spec, configs[i], &model);
     });
     return out;
 }
 
 ProfileRecord
-EvalRepository::profile(const PhaseSpec &spec)
+EvalRepository::profile(const PhaseSpec &spec,
+                        const sim::PerfModel *backend)
 {
+    // The counter bank is fed by per-cycle observer callbacks, so an
+    // analytical backend cannot drive it; profiling falls back to
+    // the cycle-level reference model in that case.  Profile caches
+    // are therefore always observer-fidelity and carry no tag.
+    const sim::PerfModel &requested =
+        backend ? *backend : sim::defaultPerfModel();
+    const sim::PerfModel &model = requested.supportsObservers()
+                                      ? requested
+                                      : sim::perfModel("cycle");
+    if (&model != &requested)
+        warn("backend \"", requested.name(),
+             "\" cannot drive profiling counters; using \"",
+             model.name(), "\" for the profiling run");
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = profiles_.find(spec.key());
@@ -461,20 +567,20 @@ EvalRepository::profile(const PhaseSpec &spec)
                                             wl.seed() ^ 0x57a71cULL);
     const auto profiling = space::Configuration::profiling();
     const auto cc = uarch::CoreConfig::fromConfiguration(profiling);
-    uarch::Core core(cc, wrong_path);
+    const auto session = model.makeSession(cc, wrong_path);
 
     const std::uint64_t warm_start =
         spec.startInst >= spec.warmLength ?
             spec.startInst - spec.warmLength :
             0;
     if (spec.warmLength > 0)
-        core.warm(*traceCache_.get(wl, warm_start,
-                                   spec.warmLength));
+        session->warm(*traceCache_.get(wl, warm_start,
+                                       spec.warmLength));
 
     counters::CounterBank bank(cc);
     const auto trace =
         traceCache_.get(wl, spec.startInst, spec.detailLength);
-    const auto result = core.run(*trace, &bank);
+    const auto result = model.run(*session, *trace, &bank);
     bank.finalise(result.events);
 
     ProfileRecord rec;
@@ -505,6 +611,7 @@ EvalRepository::profile(const PhaseSpec &spec)
     std::lock_guard<std::mutex> lock(mutex_);
     profiles_[spec.key()] = rec;
     ++simulated_;
+    ++simulatedByBackend_[model.name()];
     simSeconds_ += secs;
     return rec;
 }
@@ -529,8 +636,8 @@ EvalRepository::flushLocked()
             // No valid new-format file yet: create one atomically
             // with everything known (first write or migration).
             std::string bytes = encodeHeader();
-            for (const auto &[code, r] : cache.records)
-                encodeRecord(bytes, code, r);
+            for (const auto &[ek, r] : cache.records)
+                encodeRecord(bytes, ek, r);
             written = cache.records.size();
             ok = atomicWriteFile(path, bytes);
             if (ok)
@@ -540,8 +647,8 @@ EvalRepository::flushLocked()
             // records durable, and a torn append only costs the
             // torn record its checksum.
             std::string bytes;
-            for (const auto &[code, r] : cache.unsaved)
-                encodeRecord(bytes, code, r);
+            for (const auto &[ek, r] : cache.unsaved)
+                encodeRecord(bytes, ek, r);
             written = cache.unsaved.size();
             ok = bytes.empty() || appendFileSync(path, bytes);
         }
@@ -577,6 +684,8 @@ EvalRepository::stats() const
     s.traceHits = tc.hits;
     s.traceMisses = tc.misses;
     s.traceEvictions = tc.evictions;
+    s.backendEvals.assign(simulatedByBackend_.begin(),
+                          simulatedByBackend_.end());
     return s;
 }
 
@@ -598,6 +707,15 @@ EvalRepository::statsSummary() const
            << s.traceMisses << " generated";
         if (s.traceEvictions > 0)
             os << " (" << s.traceEvictions << " evicted)";
+    }
+    // Per-backend split, shown once more than one fidelity (or a
+    // non-default backend) produced results this process.
+    if (!s.backendEvals.empty() &&
+        (s.backendEvals.size() > 1 ||
+         s.backendEvals.front().first != "cycle")) {
+        os << "; backends";
+        for (const auto &[name, n] : s.backendEvals)
+            os << ' ' << name << '=' << n;
     }
     return os.str();
 }

@@ -8,14 +8,23 @@
  * Profiling runs (with the counter bank attached) are cached the same
  * way as serialized feature vectors.
  *
+ * Evaluations run through a pluggable performance-model backend
+ * (src/sim); results of different fidelities never mix, because the
+ * backend's cache tag is part of every in-memory key and on-disk
+ * record.
+ *
  * On-disk format (one `<key>.evc` file per PhaseSpec): a 24-byte
- * header (8-byte magic "ADSIMEVC", little-endian u64 version,
- * FNV-1a checksum of the first 16 bytes) followed by fixed-size
- * 72-byte records — config code (u64), the seven EvalRecord doubles
- * bit-exact, and a per-record FNV-1a checksum.  Files are created by
- * atomic rename and extended by append+fsync, so completed records
- * survive a `kill -9` at any point; a torn tail or corrupt record
- * fails its checksum and is simply re-simulated.  Pre-format CSV
+ * header (8-byte magic "ADSIMEVC", little-endian u64 version — now
+ * 2 — FNV-1a checksum of the first 16 bytes) followed by fixed-size
+ * 80-byte records — config code (u64), backend cache tag (u64), the
+ * seven EvalRecord doubles bit-exact, and a per-record FNV-1a
+ * checksum.  Files are created by atomic rename and extended by
+ * append+fsync, so completed records survive a `kill -9` at any
+ * point; a torn tail or corrupt record fails its checksum and is
+ * simply re-simulated.  Version-1 files (72-byte records without the
+ * backend tag) are migrated on load: their records are adopted as
+ * cycle-level (tag 0 — the pre-seam backend) and the file is
+ * rewritten in the current format on the next flush.  Pre-format CSV
  * caches (`<key>.csv`) are detected by header sniffing, merged in,
  * and rewritten in the new format on the next flush.
  */
@@ -23,9 +32,11 @@
 #ifndef ADAPTSIM_HARNESS_REPOSITORY_HH
 #define ADAPTSIM_HARNESS_REPOSITORY_HH
 
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "counters/feature_vector.hh"
@@ -33,6 +44,11 @@
 #include "space/configuration.hh"
 #include "workload/trace_cache.hh"
 #include "workload/workload.hh"
+
+namespace adaptsim::sim
+{
+class PerfModel;
+}
 
 namespace adaptsim::harness
 {
@@ -69,6 +85,32 @@ struct ProfileRecord
     std::vector<double> advanced;
 };
 
+/** Cache identity of one evaluation: which backend produced the
+ *  result for which configuration.  Different fidelities of the
+ *  same configuration are distinct entries. */
+struct EvalKey
+{
+    std::uint64_t backendTag = 0;   ///< sim::PerfModel::cacheTag()
+    std::uint64_t code = 0;         ///< space::Configuration::encode()
+
+    bool operator==(const EvalKey &) const = default;
+};
+
+/** Mixing hash so (tag, code) pairs spread over the table even when
+ *  codes collide across backends. */
+struct EvalKeyHash
+{
+    std::size_t operator()(const EvalKey &k) const
+    {
+        std::uint64_t h =
+            k.code + 0x9e3779b97f4a7c15ULL * (k.backendTag + 1);
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        return static_cast<std::size_t>(h);
+    }
+};
+
 /** Running counters of repository activity (see stats()).  Every
  *  increment is mirrored into the process-wide obs registry under
  *  repo/hit, repo/miss, repo/loaded, repo/flushed, repo/migrated
@@ -87,6 +129,10 @@ struct CacheStats
     std::uint64_t traceHits = 0;       ///< interval traces replayed
     std::uint64_t traceMisses = 0;     ///< interval traces generated
     std::uint64_t traceEvictions = 0;  ///< traces dropped by the LRU
+
+    /** Simulations actually run, split by backend name (sorted).
+     *  Mirrored into the obs registry as backend/<name>/evals. */
+    std::vector<std::pair<std::string, std::uint64_t>> backendEvals;
 };
 
 /** Memoising simulation evaluator shared by all benches. */
@@ -103,17 +149,30 @@ class EvalRepository
 
     ~EvalRepository();
 
-    /** Evaluate one configuration on one phase (cached). */
+    /**
+     * Evaluate one configuration on one phase (cached).
+     * @param backend performance model to simulate with; nullptr
+     *   selects the ADAPTSIM_BACKEND default.  Results are cached
+     *   per backend (fidelities never mix).
+     */
     EvalRecord evaluate(const PhaseSpec &spec,
-                        const space::Configuration &config);
+                        const space::Configuration &config,
+                        const sim::PerfModel *backend = nullptr);
 
     /** Evaluate many configurations on one phase, in parallel. */
     std::vector<EvalRecord>
     evaluateBatch(const PhaseSpec &spec,
-                  const std::vector<space::Configuration> &configs);
+                  const std::vector<space::Configuration> &configs,
+                  const sim::PerfModel *backend = nullptr);
 
-    /** Profiling-configuration run with counters (cached). */
-    ProfileRecord profile(const PhaseSpec &spec);
+    /**
+     * Profiling-configuration run with counters (cached).  The
+     * counter bank needs per-cycle observer callbacks, so a
+     * @p backend without observer support (e.g. "interval") falls
+     * back to the cycle-level model with a warning.
+     */
+    ProfileRecord profile(const PhaseSpec &spec,
+                          const sim::PerfModel *backend = nullptr);
 
     /** Persist any unsaved results now (also runs every
      *  flushEvery() new records; see ADAPTSIM_FLUSH_EVERY). */
@@ -140,24 +199,28 @@ class EvalRepository
   private:
     struct PhaseCache
     {
-        std::unordered_map<std::uint64_t, EvalRecord> records;
-        std::vector<std::pair<std::uint64_t, EvalRecord>> unsaved;
+        std::unordered_map<EvalKey, EvalRecord, EvalKeyHash> records;
+        std::vector<std::pair<EvalKey, EvalRecord>> unsaved;
         bool loaded = false;
-        /** A valid new-format file exists on disk (append mode). */
+        /** A valid current-format file exists on disk (append mode). */
         bool haveBinaryFile = false;
         /** Legacy CSV to delete once its records are re-persisted. */
         bool legacyPending = false;
     };
 
-    /** Run the real simulation (no caching). */
+    /** Run the real simulation through @p backend (no caching). */
     EvalRecord simulate(const PhaseSpec &spec,
-                        const space::Configuration &config);
+                        const space::Configuration &config,
+                        const sim::PerfModel &backend);
 
     PhaseCache &cacheFor(const PhaseSpec &spec);
     void loadCache(const PhaseSpec &spec, PhaseCache &cache);
     bool loadBinaryCache(const std::string &path,
                          const std::string &bytes,
                          PhaseCache &cache);
+    bool loadV1Cache(const std::string &path,
+                     const std::string &bytes, PhaseCache &cache);
+    void adoptRecords(const PhaseCache &from, PhaseCache &cache);
     void loadLegacyCsv(const std::string &path,
                        const std::string &bytes, PhaseCache &cache);
     void flushLocked();
@@ -182,6 +245,7 @@ class EvalRepository
     std::unordered_map<std::string, ProfileRecord> profiles_;
     std::size_t flushEvery_;
     std::size_t unsavedTotal_ = 0;
+    std::map<std::string, std::uint64_t> simulatedByBackend_;
     std::uint64_t simulated_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t loaded_ = 0;

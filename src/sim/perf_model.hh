@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The pluggable performance-model seam.
+ *
+ * Every layer that needs "simulate this trace on this configuration"
+ * — the evaluation repository, the runtime controller, the benches —
+ * goes through the abstract PerfModel interface instead of
+ * constructing the cycle-level uarch::Core directly.  Backends are
+ * looked up by name in a process-wide registry; ADAPTSIM_BACKEND
+ * selects the default (see common/env), and every entry point takes
+ * a per-call override.
+ *
+ * Two backends ship built in:
+ *
+ *   "cycle"     CycleLevelModel — the detailed out-of-order pipeline
+ *               (uarch::Core), bit-identical to calling it directly.
+ *   "interval"  IntervalModel — a Karkhanis/Eeckhout-style interval
+ *               analysis that replays the trace through the *real*
+ *               cache and branch-predictor models in one linear pass
+ *               and prices the penalty events analytically.  No
+ *               per-cycle loop, ≥10× faster, bounded IPC error.
+ *
+ * Results of different fidelities must never mix: each backend
+ * carries a cacheTag() that the repository folds into its in-memory
+ * keys and persists in every on-disk record (DESIGN.md §11).
+ */
+
+#ifndef ADAPTSIM_SIM_PERF_MODEL_HH
+#define ADAPTSIM_SIM_PERF_MODEL_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "power/metrics.hh"
+#include "space/configuration.hh"
+#include "uarch/core_config.hh"
+#include "uarch/events.hh"
+#include "uarch/pipeline.hh"
+#include "workload/wrong_path.hh"
+
+namespace adaptsim::sim
+{
+
+/** How faithful a backend's timing is. */
+enum class Fidelity
+{
+    CycleLevel,   ///< detailed cycle-by-cycle pipeline simulation
+    Analytical    ///< event-driven analytical estimate
+};
+
+/** Human-readable fidelity name. */
+const char *fidelityName(Fidelity f);
+
+/**
+ * One configured simulated core owned by a backend: caches and
+ * branch predictor persist across warm() and run() calls exactly as
+ * uarch::Core's do, so multi-interval executions (the controller)
+ * keep state warm between intervals.
+ */
+class CoreSession
+{
+  public:
+    virtual ~CoreSession() = default;
+
+    /** Functional warm-up of caches/predictor (no timing). */
+    virtual void warm(std::span<const isa::MicroOp> trace) = 0;
+
+    /**
+     * Timing simulation of @p trace.  @p observer is the profiling
+     * counter sink; backends whose PerfModel::supportsObservers() is
+     * false ignore it.
+     */
+    virtual uarch::SimResult
+    run(std::span<const isa::MicroOp> trace,
+        uarch::SimObserver *observer = nullptr) = 0;
+
+    /** The derived configuration this session was built from. */
+    virtual const uarch::CoreConfig &config() const = 0;
+};
+
+/** Abstract performance-model backend (stateless; sessions carry
+ *  all mutable state, so one registered instance serves all
+ *  threads concurrently). */
+class PerfModel
+{
+  public:
+    virtual ~PerfModel() = default;
+
+    /** Registry key, e.g. "cycle" or "interval". */
+    virtual const char *name() const = 0;
+
+    virtual Fidelity fidelity() const = 0;
+
+    /**
+     * Stable tag mixed into eval-cache keys and persisted in .evc
+     * records so results of different fidelities never collide.
+     * Tag 0 is reserved for the cycle-level reference model: records
+     * migrated from pre-seam cache files keep their validity.
+     */
+    virtual std::uint64_t cacheTag() const = 0;
+
+    /** Whether run() drives SimObserver callbacks (per-cycle
+     *  samples, cache/branch probes) — required for profiling. */
+    virtual bool supportsObservers() const = 0;
+
+    /** Create a fresh core session for @p cfg. */
+    virtual std::unique_ptr<CoreSession>
+    makeSession(const uarch::CoreConfig &cfg,
+                workload::WrongPathGenerator &wrong_path) const = 0;
+
+    /**
+     * Instrumented timing run: bumps the "backend/<name>/evals"
+     * counter and records the wall time into the
+     * "sim/run/<name>.seconds" span histogram, then delegates to
+     * @p session.  All seam call sites use this rather than calling
+     * the session directly so per-backend telemetry is complete.
+     */
+    uarch::SimResult run(CoreSession &session,
+                         std::span<const isa::MicroOp> trace,
+                         uarch::SimObserver *observer = nullptr) const;
+
+    /**
+     * One-shot convenience: session + optional warm + instrumented
+     * run + power metrics (the `run(trace, config) -> EvalMetrics`
+     * shape of the seam).  @p warm_trace may be empty.
+     */
+    power::Metrics
+    evaluate(const space::Configuration &config,
+             workload::WrongPathGenerator &wrong_path,
+             std::span<const isa::MicroOp> warm_trace,
+             std::span<const isa::MicroOp> detail_trace) const;
+};
+
+/**
+ * Register a backend under model->name().  Registering a name twice
+ * is fatal (built-ins "cycle" and "interval" are pre-registered).
+ * Thread-safe; handles returned by perfModel() stay valid for the
+ * process lifetime.
+ */
+void registerPerfModel(std::unique_ptr<PerfModel> model);
+
+/** Backend by name; fatal on unknown names (message lists the
+ *  registered ones). */
+const PerfModel &perfModel(const std::string &name);
+
+/** Backend by name, or nullptr when unknown (never creates). */
+const PerfModel *findPerfModel(const std::string &name);
+
+/** The ADAPTSIM_BACKEND-selected default backend. */
+const PerfModel &defaultPerfModel();
+
+/** Sorted names of all registered backends. */
+std::vector<std::string> perfModelNames();
+
+} // namespace adaptsim::sim
+
+#endif // ADAPTSIM_SIM_PERF_MODEL_HH

@@ -51,6 +51,15 @@ TEST(Lint, DeterminismBansEntropyInCore)
             .size(),
         1u);
     EXPECT_EQ(lint("src/uarch/x.cc", "srand(42);\n").size(), 1u);
+
+    // The performance-model backends (src/sim) replay traces through
+    // the simulation core, so they sit inside the same scope.
+    const auto s =
+        lint("src/sim/x.cc", "std::mt19937 g(seed);\n");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0].rule, "determinism");
+    EXPECT_EQ(lint("src/sim/x.cc", "auto t = time(nullptr);\n").size(),
+              1u);
 }
 
 TEST(Lint, DeterminismScopedToCoreDirs)

@@ -15,6 +15,7 @@
 #include "counters/feature_vector.hh"
 #include "harness/gather.hh"
 #include "harness/repository.hh"
+#include "sim/perf_model.hh"
 #include "space/sampling.hh"
 #include "workload/spec_suite.hh"
 
@@ -393,4 +394,132 @@ TEST_F(RepositoryTest, UnknownWorkloadIsFatal)
     PhaseSpec bad{"nonexistent", 60000, 0, 100, 100};
     EXPECT_EXIT((void)repo.evaluate(bad, paperBaselineConfig()),
                 ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+namespace
+{
+
+/** Hand-built format-1 cache image: 24-byte header (version 1) plus
+ *  one 72-byte record without a backend tag. */
+std::string
+v1CacheImage(std::uint64_t code, const EvalRecord &r)
+{
+    std::string bytes("ADSIMEVC", 8);
+    putU64(bytes, 1);
+    putU64(bytes, fnv1a64(bytes.data(), 16));
+    const std::size_t start = bytes.size();
+    putU64(bytes, code);
+    putDouble(bytes, r.cycles);
+    putDouble(bytes, r.instructions);
+    putDouble(bytes, r.seconds);
+    putDouble(bytes, r.joules);
+    putDouble(bytes, r.ipc);
+    putDouble(bytes, r.watts);
+    putDouble(bytes, r.efficiency);
+    putU64(bytes, fnv1a64(bytes.data() + start, 64));
+    return bytes;
+}
+
+} // namespace
+
+TEST_F(RepositoryTest, V1BinaryCacheIsMigratedAsCycleLevel)
+{
+    // A pre-seam (version-1) cache file: its records were produced
+    // by the only backend that existed then, so migration must tag
+    // them cycle-level and serve them to cycle-backend evaluations.
+    const EvalRecord fake{100.0, 1500.0, 0.5, 0.25, 1.5, 2.5, 42.0};
+    const std::uint64_t code = paperBaselineConfig().encode();
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(
+        atomicWriteFile(binPath(), v1CacheImage(code, fake)));
+
+    EvalRecord served;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        served = repo.evaluate(spec(), paperBaselineConfig());
+        EXPECT_EQ(repo.simulationsRun(), 0u);
+        EXPECT_EQ(repo.cacheHits(), 1u);
+        EXPECT_TRUE(bitIdentical(served, fake));
+        EXPECT_EQ(repo.stats().migrated, 1u);
+        repo.flush();
+    }
+
+    // The flush rewrote the file in the current format...
+    const auto bytes = readFile(binPath());
+    ASSERT_GE(bytes.size(), 24u);
+    EXPECT_EQ(getU64(bytes.data() + 8), 2u);
+
+    // ...and the record round-trips bit-exactly through it.
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    const auto again = repo2.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
+    EXPECT_EQ(repo2.stats().migrated, 0u);
+    EXPECT_TRUE(bitIdentical(again, fake));
+}
+
+TEST_F(RepositoryTest, BackendsNeverShareCacheEntries)
+{
+    // The same (phase, configuration) under different backends must
+    // be two distinct cache entries, in memory and on disk.
+    const auto &cycle = sim::perfModel("cycle");
+    const auto &interval = sim::perfModel("interval");
+    EvalRecord by_cycle, by_interval;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        by_cycle =
+            repo.evaluate(spec(), paperBaselineConfig(), &cycle);
+        by_interval =
+            repo.evaluate(spec(), paperBaselineConfig(), &interval);
+        EXPECT_EQ(repo.simulationsRun(), 2u);
+        EXPECT_EQ(repo.cacheHits(), 0u);
+        EXPECT_NE(by_cycle.cycles, by_interval.cycles);
+
+        const auto s = repo.stats();
+        ASSERT_EQ(s.backendEvals.size(), 2u);
+        EXPECT_EQ(s.backendEvals[0].first, "cycle");
+        EXPECT_EQ(s.backendEvals[0].second, 1u);
+        EXPECT_EQ(s.backendEvals[1].first, "interval");
+        EXPECT_EQ(s.backendEvals[1].second, 1u);
+        EXPECT_NE(repo.statsSummary().find("backends"),
+                  std::string::npos);
+        repo.flush();
+    }
+
+    // Both records round-trip from disk to the right backend.
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    const auto cycle_again =
+        repo2.evaluate(spec(), paperBaselineConfig(), &cycle);
+    const auto interval_again =
+        repo2.evaluate(spec(), paperBaselineConfig(), &interval);
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
+    EXPECT_EQ(repo2.cacheHits(), 2u);
+    EXPECT_TRUE(bitIdentical(cycle_again, by_cycle));
+    EXPECT_TRUE(bitIdentical(interval_again, by_interval));
+
+    // A default-backend evaluate hits the cycle-tagged entry.
+    const auto default_again =
+        repo2.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
+    EXPECT_TRUE(bitIdentical(default_again, by_cycle));
+}
+
+TEST_F(RepositoryTest, ObserverlessBackendProfileFallsBack)
+{
+    // Profiling needs per-cycle observer callbacks; the interval
+    // backend has none, so profile() transparently uses the
+    // cycle-level model and produces identical features.
+    ProfileRecord via_cycle;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        via_cycle = repo.profile(spec());
+    }
+    std::filesystem::remove_all(dir_);
+
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    const auto via_interval =
+        repo.profile(spec(), &sim::perfModel("interval"));
+    ASSERT_EQ(via_interval.advanced.size(),
+              via_cycle.advanced.size());
+    for (std::size_t i = 0; i < via_cycle.advanced.size(); ++i)
+        EXPECT_EQ(via_interval.advanced[i], via_cycle.advanced[i]);
 }

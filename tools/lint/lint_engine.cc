@@ -218,7 +218,8 @@ classify(const std::string &path)
     fc.deterministicScope = startsWith(path, "src/uarch/") ||
                             startsWith(path, "src/ml/") ||
                             startsWith(path, "src/workload/") ||
-                            startsWith(path, "src/phase/");
+                            startsWith(path, "src/phase/") ||
+                            startsWith(path, "src/sim/");
     fc.envExempt = path == "src/common/env.cc";
     fc.loggingExempt = path == "src/common/logging.hh" ||
                        startsWith(path, "tools/lint/");
