@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Learned-surrogate backend benchmarks.  Untimed setup gathers
+ * cycle-level training records into a scratch repository and fits
+ * the surrogate (harness/learned_trainer); the timed sections then
+ * measure
+ *
+ *   - perf_learned:          raw backend throughput (same shape as
+ *                            perf_interval, for the speedup column)
+ *   - perf_gather_interval:  cold-repository gather via "interval"
+ *   - perf_gather_cascade:   the same gather via "cascade"
+ *
+ * plus one extra JSON line, perf_learned_mae — the surrogate's IPC
+ * error against held-out cycle-level ground truth — which the CI
+ * perf-smoke job gates on (see .github/workflows/ci.yml).  The
+ * gathers skip the profiling-counter run (profileFeatures=false) so
+ * the cycle-level profiling cost does not mask the backend cost
+ * under measurement.
+ */
+
+#include "perf_harness.hh"
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "harness/gather.hh"
+#include "harness/learned_trainer.hh"
+#include "sim/cascade_model.hh"
+#include "sim/learned_model.hh"
+#include "sim/perf_model.hh"
+#include "space/sampling.hh"
+#include "uarch/core_config.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+namespace
+{
+
+std::vector<phase::Phase>
+benchPhases(bool smoke, std::uint64_t detail_length)
+{
+    std::vector<phase::Phase> phases;
+    const char *programs[] = {"gcc", "crafty"};
+    const std::size_t per_program = smoke ? 1 : 3;
+    for (const char *prog : programs) {
+        for (std::size_t i = 0; i < per_program; ++i) {
+            phase::Phase ph;
+            ph.workload = prog;
+            ph.index = i;
+            ph.startInst = 40000 + i * 60000;
+            ph.lengthInsts = detail_length;
+            ph.weight = 1.0 / double(per_program);
+            phases.push_back(ph);
+        }
+    }
+    return phases;
+}
+
+std::vector<double>
+timeColdGather(const perf::PerfOptions &opt,
+               const std::vector<phase::Phase> &phases,
+               std::uint64_t program_length,
+               std::uint64_t warm_length,
+               const harness::GatherOptions &gopt, double &items)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "adaptsim_perf_learned_gather";
+    auto secs = perf::runTimed(opt, items, [&]() {
+        std::filesystem::remove_all(dir);   // cold repository
+        harness::EvalRepository repo(
+            workload::specSuite(program_length), dir.string(), 1);
+        const auto gathered = harness::gatherTrainingData(
+            repo, phases, program_length, warm_length, gopt);
+        double evals = 0.0;
+        for (const auto &g : gathered)
+            evals += static_cast<double>(g.evals.size());
+        return evals;
+    });
+    std::filesystem::remove_all(dir);
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+
+    const std::uint64_t program_length = 400000;
+    const std::uint64_t warm_length = 12000;
+    const std::uint64_t detail_length = 6000;
+    const auto phases = benchPhases(opt.smoke, detail_length);
+
+    // ---- Untimed setup: cycle-level training data + surrogate fit,
+    // then accuracy against held-out cycle-level ground truth.  The
+    // repository lives in this scope so its destructor flushes
+    // before the scratch directory is removed.
+    const auto train_dir = std::filesystem::temp_directory_path() /
+                           "adaptsim_perf_learned_train";
+    std::filesystem::remove_all(train_dir);
+    const auto &learned = sim::perfModel("learned");
+    {
+        harness::EvalRepository train_repo(
+            workload::specSuite(program_length), train_dir.string(),
+            adaptsim::numThreads());
+
+        Rng train_rng(7);
+        auto train_pool = space::uniformRandomSet(
+            train_rng, opt.smoke ? 40 : 64);
+        train_pool.push_back(harness::paperBaselineConfig());
+        train_pool = space::dedupe(std::move(train_pool));
+
+        std::vector<harness::PhaseSpec> specs;
+        for (const auto &ph : phases) {
+            specs.push_back(harness::PhaseSpec{
+                ph.workload, program_length, ph.startInst,
+                warm_length, ph.lengthInsts});
+            (void)train_repo.evaluateBatch(
+                specs.back(), train_pool, &sim::perfModel("cycle"));
+        }
+        const auto report =
+            harness::trainLearnedBackend(train_repo, specs);
+        if (!report.trained)
+            fatal("perf_learned: surrogate training failed (",
+                  report.samples, " samples)");
+
+        Rng eval_rng(99);
+        const auto eval_pool = space::dedupe(
+            space::uniformRandomSet(eval_rng, opt.smoke ? 8 : 16));
+        double abs_err = 0.0;
+        std::size_t samples = 0;
+        for (const auto &spec : specs) {
+            const auto truth = train_repo.evaluateBatch(
+                spec, eval_pool, &sim::perfModel("cycle"));
+            const auto pred = train_repo.evaluateBatch(
+                spec, eval_pool, &learned);
+            for (std::size_t i = 0; i < eval_pool.size(); ++i) {
+                abs_err += std::abs(pred[i].ipc - truth[i].ipc);
+                ++samples;
+            }
+        }
+        const double mae = samples ? abs_err / double(samples) : 0.0;
+        std::printf("{\"name\":\"perf_learned_mae\",\"smoke\":%s,"
+                    "\"mae_ipc\":%.4f,\"samples\":%zu,"
+                    "\"train_samples\":%zu,\"threshold\":0.10}\n",
+                    opt.smoke ? "true" : "false", mae, samples,
+                    report.samples);
+    }
+
+    // ---- Raw backend throughput (perf_interval's shape).
+    {
+        const std::uint64_t detail = opt.smoke ? 20000 : 120000;
+        const auto wl = workload::specBenchmark("gcc", 400000);
+        const auto cc = uarch::CoreConfig::fromConfiguration(
+            harness::paperBaselineConfig());
+        const auto trace = wl.generate(40000, detail);
+        double items = 0.0;
+        const auto secs = perf::runTimed(opt, items, [&]() {
+            workload::WrongPathGenerator wp(
+                wl.averageParams(), wl.seed() ^ 0x57a71cULL);
+            const auto session = learned.makeSession(cc, wp);
+            const auto r = learned.run(*session, trace);
+            return static_cast<double>(r.events.committedOps);
+        });
+        perf::emitJson("perf_learned", opt, secs, items, "uops");
+    }
+
+    // ---- Cold gathers: interval vs confidence-gated cascade.
+    harness::GatherOptions gopt;
+    gopt.sharedRandomConfigs = opt.smoke ? 16 : 192;
+    gopt.localNeighbours = opt.smoke ? 4 : 48;
+    gopt.oneAtATimeSweep = false;
+    gopt.progress = false;
+    gopt.profileFeatures = false;
+
+    double items = 0.0;
+    gopt.backend = &sim::perfModel("interval");
+    const auto interval_secs = timeColdGather(
+        opt, phases, program_length, warm_length, gopt, items);
+    perf::emitJson("perf_gather_interval", opt, interval_secs, items,
+                   "evals");
+
+    const std::uint64_t esc0 = sim::cascadeEscalations();
+    gopt.backend = &sim::perfModel("cascade");
+    const auto cascade_secs = timeColdGather(
+        opt, phases, program_length, warm_length, gopt, items);
+    perf::emitJson("perf_gather_cascade", opt, cascade_secs, items,
+                   "evals");
+    // stderr so the JSON lines on stdout stay machine-readable.
+    lockedWrite(stderr,
+                "perf_learned: " +
+                    std::to_string(sim::cascadeEscalations() - esc0) +
+                    " cascade escalation(s) across all gather reps\n");
+
+    std::filesystem::remove_all(train_dir);
+    return 0;
+}

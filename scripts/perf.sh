@@ -18,10 +18,25 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${BENCH_OUT:-BENCH_perf.json}"
 BENCHES=(perf_pipeline perf_interval perf_tracegen perf_gather
-         perf_train)
+         perf_train perf_learned)
+
+command -v python3 > /dev/null 2>&1 || {
+    echo "perf: python3 is required to assemble $OUT" >&2
+    exit 1
+}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
+
+# Each binary emits one JSON object per measurement per line (a
+# binary may emit several — perf_interval reports the interval
+# backend and its cycle-level reference).  Every line is validated
+# as it arrives so a malformed measurement fails loudly, naming the
+# benchmark and the offending line, instead of shipping a bad
+# artifact.  The assembled file is written to a temp path and moved
+# into place only once it validated end to end.
+TMP_OUT="$(mktemp "${OUT}.XXXXXX")"
+trap 'rm -f "$TMP_OUT"' EXIT
 
 {
     echo '{'
@@ -31,11 +46,14 @@ cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
         out="$("$BUILD_DIR/bench/perf/$bench" "$@")"
         [ -n "$out" ] || { echo "perf: $bench emitted nothing" >&2;
                            exit 1; }
-        # A binary may emit several measurements (perf_interval
-        # reports the interval backend and its cycle-level
-        # reference), one JSON object per line.
         while IFS= read -r line; do
             [ -n "$line" ] || continue
+            if ! printf '%s' "$line" |
+                python3 -c 'import json,sys; json.load(sys.stdin)' \
+                    2> /dev/null; then
+                echo "perf: $bench emitted malformed JSON: $line" >&2
+                exit 1
+            fi
             if [ "$first" -eq 1 ]; then first=0; else echo ','; fi
             printf '    %s' "$line"
         done <<< "$out"
@@ -43,11 +61,11 @@ cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
     echo
     echo '  ]'
     echo '}'
-} > "$OUT"
+} > "$TMP_OUT"
 
-# Fail loudly on malformed output rather than shipping a bad artifact.
-if command -v python3 > /dev/null 2>&1; then
-    python3 -m json.tool "$OUT" > /dev/null
-fi
+# Whole-document validation, then the atomic move into place.
+python3 -m json.tool "$TMP_OUT" > /dev/null
+mv "$TMP_OUT" "$OUT"
+trap - EXIT
 
 echo "perf: wrote $OUT"

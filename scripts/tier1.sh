@@ -29,7 +29,7 @@ cmake -B build -S .
 cmake --build build -j
 cmake --build build -j \
     --target perf_pipeline perf_interval perf_tracegen perf_gather \
-             perf_train
+             perf_train perf_learned
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # 2. TSan over the concurrency tests.

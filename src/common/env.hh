@@ -61,6 +61,16 @@ std::string traceFile();
  *  ("cycle" when unset; see src/sim/perf_model.hh). */
 std::string backendName();
 
+/** ADAPTSIM_CASCADE_THRESHOLD: uncertainty (estimated absolute IPC
+ *  error) above which the "cascade" backend escalates a prediction
+ *  to cycle-level ground truth (default 0.08; negative forces
+ *  escalation of everything). */
+double cascadeThreshold();
+
+/** ADAPTSIM_SURROGATE: path to fitted learned-backend weights
+ *  (saveLearnedSurrogate() format); empty when unset. */
+std::string surrogatePath();
+
 } // namespace adaptsim
 
 #endif // ADAPTSIM_COMMON_ENV_HH

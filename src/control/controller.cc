@@ -33,8 +33,9 @@ AdaptiveController::runInterval(sim::CoreSession &session,
                                 RunStats &stats)
 {
     const auto result = backend_.run(session, trace, observer);
-    const auto m = power::computeMetrics(session.config(),
-                                         result.events);
+    // metricsFor lets backends without event-level structure (the
+    // learned surrogate, possibly via the cascade) report energy.
+    const auto m = session.metricsFor(result);
     stats.seconds += m.seconds;
     stats.joules += m.joules;
     stats.instructions += result.events.committedOps;
@@ -186,7 +187,7 @@ runStatic(const workload::Workload &wl,
             trace = trace_local;
         }
         const auto result = model.run(*core, trace);
-        const auto m = power::computeMetrics(cc, result.events);
+        const auto m = core->metricsFor(result);
         stats.seconds += m.seconds;
         stats.joules += m.joules;
         stats.instructions += result.events.committedOps;

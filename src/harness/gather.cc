@@ -45,7 +45,8 @@ gatherOnePhase(EvalRepository &repo,
                        ph.lengthInsts};
 
     // 1. Shared uniform sample.
-    auto evals = repo.evaluateBatch(g.spec, shared);
+    auto evals =
+        repo.evaluateBatch(g.spec, shared, options.backend);
     auto record = [&](const space::Configuration &cfg,
                       const EvalRecord &r) {
         g.evals.push_back(ml::ConfigEval{cfg, r.efficiency});
@@ -70,7 +71,7 @@ gatherOnePhase(EvalRepository &repo,
         const auto neighbours = space::localNeighbours(
             rng, best_of(), options.localNeighbours);
         const auto n_evals =
-            repo.evaluateBatch(g.spec, neighbours);
+            repo.evaluateBatch(g.spec, neighbours, options.backend);
         for (std::size_t i = 0; i < neighbours.size(); ++i)
             record(neighbours[i], n_evals[i]);
     }
@@ -78,13 +79,15 @@ gatherOnePhase(EvalRepository &repo,
     // 3. One-at-a-time sweep around the refined best.
     if (options.oneAtATimeSweep) {
         const auto sweep = space::oneAtATimeSweep(best_of());
-        const auto s_evals = repo.evaluateBatch(g.spec, sweep);
+        const auto s_evals =
+            repo.evaluateBatch(g.spec, sweep, options.backend);
         for (std::size_t i = 0; i < sweep.size(); ++i)
             record(sweep[i], s_evals[i]);
     }
 
     // 4. Profiling-configuration counters.
-    g.features = repo.profile(g.spec);
+    if (options.profileFeatures)
+        g.features = repo.profile(g.spec, options.backend);
     return g;
 }
 

@@ -15,6 +15,11 @@
 #include "ml/trainer.hh"
 #include "phase/simpoint.hh"
 
+namespace adaptsim::sim
+{
+class PerfModel;
+}
+
 namespace adaptsim::harness
 {
 
@@ -26,6 +31,16 @@ struct GatherOptions
     bool oneAtATimeSweep = true;            ///< paper: yes (~93)
     bool progress = true;      ///< per-phase cache/progress lines
     std::uint64_t seed = 2010;
+
+    /** Backend for the evaluation batches; nullptr selects the
+     *  ADAPTSIM_BACKEND default.  (Profiling runs always use an
+     *  observer-capable backend; see EvalRepository::profile.) */
+    const sim::PerfModel *backend = nullptr;
+
+    /** Skip the per-phase profiling-counter run (step 4).  Backend
+     *  benchmarks turn this off so the cycle-level profiling cost
+     *  does not mask the evaluation-backend cost being measured. */
+    bool profileFeatures = true;
 };
 
 /** Everything gathered about one phase. */

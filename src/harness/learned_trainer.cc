@@ -1,0 +1,79 @@
+#include "harness/learned_trainer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/cycle_level_model.hh"
+#include "sim/learned_model.hh"
+#include "uarch/core_config.hh"
+
+namespace adaptsim::harness
+{
+
+TrainReport
+trainLearnedBackend(EvalRepository &repo,
+                    const std::vector<PhaseSpec> &specs,
+                    const TrainOptions &options)
+{
+    TrainReport report;
+
+    std::vector<std::vector<double>> features;
+    std::vector<double> ipc;   ///< primary fit target
+    std::vector<double> epi;
+
+    for (const auto &spec : specs) {
+        const auto cached =
+            repo.records(spec, sim::CycleLevelModel::kCacheTag);
+        if (cached.empty())
+            continue;
+        // One trace summary per phase, shared by every cached config
+        // of that phase (the phase half of the feature vector).
+        const auto &wl = repo.workload(spec.workload);
+        const auto trace = repo.traceCache().get(
+            wl, spec.startInst, spec.detailLength);
+        const auto summary = sim::summariseTrace(*trace);
+        bool contributed = false;
+        for (const auto &[code, r] : cached) {
+            if (!(r.instructions > 0.0) || !(r.ipc > 0.0))
+                continue;   // degenerate window: nothing to learn
+            const auto cfg = space::Configuration::decode(code);
+            const auto cc =
+                uarch::CoreConfig::fromConfiguration(cfg);
+            features.push_back(sim::learnedFeatures(summary, cc));
+            ipc.push_back(r.ipc);
+            epi.push_back(r.joules / r.instructions);
+            contributed = true;
+        }
+        if (contributed)
+            ++report.phases;
+    }
+
+    report.samples = features.size();
+    if (report.samples < options.minSamples) {
+        warn("learned-backend training: only ", report.samples,
+             " cached cycle-level sample(s) (need ",
+             options.minSamples, "); surrogate not trained");
+        return report;
+    }
+
+    const std::size_t dim = features.front().size();
+    ml::Matrix x(report.samples, dim);
+    for (std::size_t i = 0; i < report.samples; ++i)
+        for (std::size_t j = 0; j < dim; ++j)
+            x(i, j) = features[i][j];
+
+    auto surrogate =
+        ml::Surrogate::fit(x, ipc, epi, options.surrogate);
+
+    double abs_err = 0.0;
+    for (std::size_t i = 0; i < report.samples; ++i) {
+        const auto p = surrogate.predict(features[i]);
+        abs_err += std::abs(p.primary - ipc[i]);
+    }
+    report.maeIpc = abs_err / static_cast<double>(report.samples);
+    report.trained = true;
+    sim::setLearnedSurrogate(std::move(surrogate));
+    return report;
+}
+
+} // namespace adaptsim::harness

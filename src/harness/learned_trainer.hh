@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trainer for the learned-surrogate backend: harvests cycle-level
+ * EvalRecords already sitting in the repository's `.evc` caches,
+ * pairs each with the trace summary of its phase, fits the ridge
+ * ensemble (ml/surrogate) and installs it process-wide so the
+ * "learned" and "cascade" backends can serve predictions.
+ *
+ * No new simulations are run: training data is strictly what earlier
+ * cycle-level work already paid for.  Phases with no cached
+ * cycle-level records contribute nothing (and are not simulated).
+ */
+
+#ifndef ADAPTSIM_HARNESS_LEARNED_TRAINER_HH
+#define ADAPTSIM_HARNESS_LEARNED_TRAINER_HH
+
+#include "harness/repository.hh"
+#include "ml/surrogate.hh"
+
+namespace adaptsim::harness
+{
+
+/** Training knobs. */
+struct TrainOptions
+{
+    ml::SurrogateOptions surrogate;
+
+    /** Below this many harvested samples the fit is refused
+     *  (report.trained stays false, nothing is installed). */
+    std::size_t minSamples = 24;
+};
+
+/** What trainLearnedBackend() harvested and achieved. */
+struct TrainReport
+{
+    std::size_t samples = 0;      ///< (config, phase) pairs used
+    std::size_t phases = 0;       ///< phases that contributed data
+    double maeIpc = 0.0;          ///< in-sample mean |IPC error|
+    bool trained = false;         ///< surrogate fitted and installed
+};
+
+/**
+ * Fit the learned backend's surrogate on the cycle-level records
+ * cached for @p specs and install it via sim::setLearnedSurrogate().
+ */
+TrainReport trainLearnedBackend(EvalRepository &repo,
+                                const std::vector<PhaseSpec> &specs,
+                                const TrainOptions &options = {});
+
+} // namespace adaptsim::harness
+
+#endif // ADAPTSIM_HARNESS_LEARNED_TRAINER_HH

@@ -385,7 +385,8 @@ EvalRepository::cacheFor(const PhaseSpec &spec)
 EvalRecord
 EvalRepository::simulate(const PhaseSpec &spec,
                          const space::Configuration &config,
-                         const sim::PerfModel &backend)
+                         const sim::PerfModel &backend,
+                         const sim::PerfModel *&producer)
 {
     const auto &wl = workload(spec.workload);
     // Each simulation gets its own wrong-path stream (the generator
@@ -407,7 +408,9 @@ EvalRepository::simulate(const PhaseSpec &spec,
     const auto trace =
         traceCache_.get(wl, spec.startInst, spec.detailLength);
     const auto result = backend.run(*session, *trace);
-    const auto m = power::computeMetrics(cc, result.events);
+    const auto m = session->metricsFor(result);
+    producer = session->lastProducer() ? session->lastProducer()
+                                       : &backend;
 
     EvalRecord r;
     r.cycles = m.cycles;
@@ -427,23 +430,29 @@ EvalRepository::evaluate(const PhaseSpec &spec,
 {
     const sim::PerfModel &model =
         backend ? *backend : sim::defaultPerfModel();
-    const EvalKey key{model.cacheTag(), config.encode()};
+    const std::uint64_t code = config.encode();
+    // Probe every tag the backend accepts, best fidelity first (a
+    // cached cycle-level record satisfies a cascade query outright).
+    const auto tags = model.cacheLookupTags();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto &cache = cacheFor(spec);
-        const auto it = cache.records.find(key);
-        if (it != cache.records.end()) {
-            ++hits_;
-            OBS_ONLY(repoMetrics().hit.add(1);)
-            return it->second;
+        for (const std::uint64_t tag : tags) {
+            const auto it = cache.records.find(EvalKey{tag, code});
+            if (it != cache.records.end()) {
+                ++hits_;
+                OBS_ONLY(repoMetrics().hit.add(1);)
+                return it->second;
+            }
         }
     }
 
     const auto t0 = std::chrono::steady_clock::now();
     EvalRecord r;
+    const sim::PerfModel *producer = &model;
     {
         OBS_SPAN("repo/simulate");
-        r = simulate(spec, config, model);
+        r = simulate(spec, config, model, producer);
     }
     const double secs =
         std::chrono::duration<double>(
@@ -451,10 +460,14 @@ EvalRepository::evaluate(const PhaseSpec &spec,
             .count();
     OBS_ONLY(repoMetrics().miss.add(1);)
 
+    // The record is stored — and accounted — under the model that
+    // actually produced it, so a cascade escalation yields a real
+    // cycle-level record other backends can reuse.
+    const EvalKey key{producer->cacheTag(), code};
     std::lock_guard<std::mutex> lock(mutex_);
     simSeconds_ += secs;
     ++simulated_;
-    ++simulatedByBackend_[model.name()];
+    ++simulatedByBackend_[producer->name()];
     auto &cache = cacheFor(spec);
     // Two threads may race to simulate the same config (simulation
     // is deterministic, so both results are identical); only the
@@ -485,6 +498,25 @@ EvalRepository::evaluateBatch(
     pool_.parallelFor(configs.size(), [&](std::size_t i) {
         out[i] = evaluate(spec, configs[i], &model);
     });
+
+    // Near-frontier refinement: a policy backend (the cascade) can
+    // name a ground-truth model and pick the batch points worth a
+    // full-fidelity re-evaluation — the ones an adaptivity search
+    // would act on.  Ground-truth records land in the cache under
+    // the cycle tag, so cacheLookupTags() serves them ever after.
+    if (const sim::PerfModel *truth = model.groundTruthModel()) {
+        std::vector<double> eff(out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            eff[i] = out[i].efficiency;
+        std::vector<std::size_t> refine;
+        model.selectForRefinement(eff, refine);
+        if (!refine.empty()) {
+            pool_.parallelFor(refine.size(), [&](std::size_t i) {
+                out[refine[i]] =
+                    evaluate(spec, configs[refine[i]], truth);
+            });
+        }
+    }
     return out;
 }
 
@@ -501,10 +533,14 @@ EvalRepository::profile(const PhaseSpec &spec,
     const sim::PerfModel &model = requested.supportsObservers()
                                       ? requested
                                       : sim::perfModel("cycle");
-    if (&model != &requested)
-        warn("backend \"", requested.name(),
-             "\" cannot drive profiling counters; using \"",
-             model.name(), "\" for the profiling run");
+    if (&model != &requested) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (profileWarned_.insert(requested.name()).second)
+            warn("backend \"", requested.name(),
+                 "\" cannot drive profiling counters; using \"",
+                 model.name(),
+                 "\" for its profiling runs (warned once)");
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = profiles_.find(spec.key());
@@ -614,6 +650,24 @@ EvalRepository::profile(const PhaseSpec &spec,
     ++simulatedByBackend_[model.name()];
     simSeconds_ += secs;
     return rec;
+}
+
+std::vector<std::pair<std::uint64_t, EvalRecord>>
+EvalRepository::records(const PhaseSpec &spec,
+                        std::uint64_t backendTag)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &cache = cacheFor(spec);
+    std::vector<std::pair<std::uint64_t, EvalRecord>> out;
+    for (const auto &[key, r] : cache.records) {
+        if (key.backendTag == backendTag)
+            out.emplace_back(key.code, r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
 }
 
 void

@@ -34,6 +34,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -153,13 +154,19 @@ class EvalRepository
      * Evaluate one configuration on one phase (cached).
      * @param backend performance model to simulate with; nullptr
      *   selects the ADAPTSIM_BACKEND default.  Results are cached
-     *   per backend (fidelities never mix).
+     *   per backend (fidelities never mix): lookups probe the
+     *   backend's cacheLookupTags() in order, and fresh records are
+     *   stored under the tag of the model that actually produced
+     *   them (a cascade escalation stores a cycle-level record).
      */
     EvalRecord evaluate(const PhaseSpec &spec,
                         const space::Configuration &config,
                         const sim::PerfModel *backend = nullptr);
 
-    /** Evaluate many configurations on one phase, in parallel. */
+    /** Evaluate many configurations on one phase, in parallel.
+     *  When the backend names a groundTruthModel(), the points it
+     *  selectForRefinement()s are afterwards re-evaluated at ground
+     *  truth and replaced in the returned vector. */
     std::vector<EvalRecord>
     evaluateBatch(const PhaseSpec &spec,
                   const std::vector<space::Configuration> &configs,
@@ -196,6 +203,12 @@ class EvalRepository
     /** The interval-trace cache shared by all worker threads. */
     workload::TraceCache &traceCache() { return traceCache_; }
 
+    /** All cached records of one phase produced under one backend
+     *  tag, sorted by configuration code (surrogate training data
+     *  harvest; loads the phase's disk cache if needed). */
+    std::vector<std::pair<std::uint64_t, EvalRecord>>
+    records(const PhaseSpec &spec, std::uint64_t backendTag);
+
   private:
     struct PhaseCache
     {
@@ -208,10 +221,14 @@ class EvalRepository
         bool legacyPending = false;
     };
 
-    /** Run the real simulation through @p backend (no caching). */
+    /** Run the real simulation through @p backend (no caching).
+     *  @p producer is set to the model that actually produced the
+     *  result (== &backend except for policy backends like the
+     *  cascade, which may delegate to another fidelity). */
     EvalRecord simulate(const PhaseSpec &spec,
                         const space::Configuration &config,
-                        const sim::PerfModel &backend);
+                        const sim::PerfModel &backend,
+                        const sim::PerfModel *&producer);
 
     PhaseCache &cacheFor(const PhaseSpec &spec);
     void loadCache(const PhaseSpec &spec, PhaseCache &cache);
@@ -243,6 +260,9 @@ class EvalRepository
     mutable std::mutex mutex_;
     std::unordered_map<std::string, PhaseCache> caches_;
     std::unordered_map<std::string, ProfileRecord> profiles_;
+    /** Backends already warned about missing observer support, so
+     *  profile() nags once per backend rather than per call. */
+    std::set<std::string> profileWarned_;
     std::size_t flushEvery_;
     std::size_t unsavedTotal_ = 0;
     std::map<std::string, std::uint64_t> simulatedByBackend_;

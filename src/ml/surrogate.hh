@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Learned performance surrogate: a deterministic ridge-regression
+ * ensemble that maps (configuration, trace-feature) vectors to a
+ * primary performance target plus energy-per-instruction, with a
+ * per-prediction confidence score.  The learned backend (src/sim)
+ * trains the primary head on IPC; the heavy lifting of shaping the
+ * nonlinear response lives in its feature map (learnedFeatures),
+ * which includes analytically-motivated stall and throughput terms
+ * the ridge solve only has to calibrate.
+ *
+ * This is the model behind the "learned" backend (src/sim).  Two
+ * design constraints shape it:
+ *
+ *   - Training data is whatever cycle-level evaluations the `.evc`
+ *     cache already holds (harvested by harness/learned_trainer), so
+ *     sample counts are small (tens to hundreds) and the model must
+ *     not overfit: standardized features, L2 regularisation, closed-
+ *     form normal-equation solves.
+ *   - The cascade policy needs to know when NOT to trust a
+ *     prediction.  Confidence combines two signals: the spread of a
+ *     K-fold ensemble (epistemic disagreement) and the distance of
+ *     the query from the training distribution (novelty).  Both are
+ *     reported in IPC units so ADAPTSIM_CASCADE_THRESHOLD has a
+ *     physical meaning.
+ *
+ * Everything is bit-deterministic: fold assignment is round-robin by
+ * sample index, solves are exact Cholesky factorisations, and fitted
+ * weights serialize to hex-float text that round-trips exactly.
+ */
+
+#ifndef ADAPTSIM_ML_SURROGATE_HH
+#define ADAPTSIM_ML_SURROGATE_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace adaptsim::ml
+{
+
+/** Fitting knobs. */
+struct SurrogateOptions
+{
+    /** L2 strength on standardized (unit-variance) features; the
+     *  bias weight is never regularised. */
+    double lambda = 3e-3;
+
+    /** Ensemble members for the confidence estimate; member k is
+     *  fit with every k-th sample held out. */
+    std::size_t ensembleSize = 4;
+
+    /** Weight of the novelty (distance-to-training-set) term in the
+     *  reported uncertainty, in primary-target units per unit of
+     *  z-distance beyond the in-distribution radius. */
+    double noveltyWeight = 0.08;
+};
+
+/** One prediction with its confidence. */
+struct SurrogatePrediction
+{
+    double primary = 0.0;         ///< primary-target head
+    double energyPerInst = 0.0;   ///< joules per committed op
+    /** Estimated primary-target error: ensemble spread + novelty
+     *  penalty.  Larger means less trustworthy; the cascade
+     *  escalates when this exceeds ADAPTSIM_CASCADE_THRESHOLD. */
+    double uncertainty = 0.0;
+};
+
+/** Ridge-regression surrogate with a K-fold confidence ensemble. */
+class Surrogate
+{
+  public:
+    /** Untrained surrogate: trained() is false, predict() fatals. */
+    Surrogate() = default;
+
+    /**
+     * Fit on @p x (one row per sample) against per-sample @p primary
+     * and @p energy_per_inst targets.  Deterministic; fatal on empty
+     * or mismatched inputs.
+     */
+    static Surrogate fit(const Matrix &x,
+                         const std::vector<double> &primary,
+                         const std::vector<double> &energy_per_inst,
+                         const SurrogateOptions &options = {});
+
+    bool trained() const { return dim_ > 0; }
+    std::size_t featureDim() const { return dim_; }
+    std::size_t sampleCount() const { return samples_; }
+
+    /** Predict IPC/energy for one feature vector (size featureDim). */
+    SurrogatePrediction predict(std::span<const double> x) const;
+
+    /**
+     * Versioned text serialization of the fitted state.  Weights are
+     * written as C99 hex-floats, so deserialize() reproduces
+     * bit-identical predictions.
+     */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); false on malformed/unknown input. */
+    static bool deserialize(const std::string &text, Surrogate &out);
+
+  private:
+    /** z = (x - mean) * invStd, with a trailing 1 bias term. */
+    void standardise(std::span<const double> x,
+                     std::vector<double> &z) const;
+
+    std::size_t dim_ = 0;        ///< raw feature dimension
+    std::size_t samples_ = 0;    ///< training set size
+    double noveltyWeight_ = 0.0;
+    std::vector<double> mean_;    ///< per-dim feature mean
+    std::vector<double> invStd_;  ///< 1/std (0 for constant dims)
+    std::vector<double> primaryW_; ///< dim_+1 weights (bias last)
+    std::vector<double> energyW_;  ///< dim_+1 weights (bias last)
+    /** Ensemble heads for the primary target. */
+    std::vector<std::vector<double>> foldW_;
+};
+
+} // namespace adaptsim::ml
+
+#endif // ADAPTSIM_ML_SURROGATE_HH

@@ -1,0 +1,178 @@
+#include "sim/cascade_model.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "common/env.hh"
+#include "obs/obs.hh"
+#include "sim/cycle_level_model.hh"
+#include "sim/learned_model.hh"
+
+namespace adaptsim::sim
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> escalations{0};
+
+void
+noteEscalation()
+{
+    escalations.fetch_add(1, std::memory_order_relaxed);
+    OBS_ONLY(OBS_COUNTER("backend/cascade/escalations").add(1);)
+}
+
+class CascadeSession final : public CoreSession
+{
+  public:
+    CascadeSession(const uarch::CoreConfig &cfg,
+                   workload::WrongPathGenerator &wrong_path,
+                   const PerfModel &cheap, const PerfModel &cycle,
+                   double threshold)
+        : cfg_(cfg), wrongPath_(wrong_path), cheapModel_(cheap),
+          cycleModel_(cycle), threshold_(threshold),
+          cheap_(cheap.makeSession(cfg, wrong_path))
+    {
+    }
+
+    void
+    warm(std::span<const isa::MicroOp> trace) override
+    {
+        cheap_->warm(trace);
+        // Retained so a lazily created cycle session starts from the
+        // same warm state an eager one would have.
+        warmTraces_.emplace_back(trace.begin(), trace.end());
+        if (cycle_)
+            cycle_->warm(trace);
+    }
+
+    uarch::SimResult
+    run(std::span<const isa::MicroOp> trace,
+        uarch::SimObserver *observer) override
+    {
+        auto result = cheapModel_.run(*cheap_, trace, observer);
+        lastUncertainty_ = cheap_->lastUncertainty();
+        if (lastUncertainty_ <= threshold_) {
+            producerModel_ = &cheapModel_;
+            producerSession_ = cheap_.get();
+            return result;
+        }
+
+        // Low confidence: escalate to ground truth.  The cheap paths
+        // never consume wrong-path state, so this session behaves
+        // exactly like a direct cycle-level one from here on.
+        noteEscalation();
+        if (!cycle_) {
+            cycle_ = cycleModel_.makeSession(cfg_, wrongPath_);
+            for (const auto &w : warmTraces_)
+                cycle_->warm(w);
+        }
+        producerModel_ = &cycleModel_;
+        producerSession_ = cycle_.get();
+        return cycleModel_.run(*cycle_, trace, observer);
+    }
+
+    const uarch::CoreConfig &config() const override
+    {
+        return cfg_;
+    }
+
+    power::Metrics
+    metricsFor(const uarch::SimResult &result) override
+    {
+        if (producerSession_)
+            return producerSession_->metricsFor(result);
+        return CoreSession::metricsFor(result);
+    }
+
+    const PerfModel *lastProducer() const override
+    {
+        return producerModel_;
+    }
+
+    /** 0 after an escalation: the returned result is exact. */
+    double lastUncertainty() const override
+    {
+        return producerModel_ == &cycleModel_ ? 0.0
+                                              : lastUncertainty_;
+    }
+
+  private:
+    uarch::CoreConfig cfg_;
+    workload::WrongPathGenerator &wrongPath_;
+    const PerfModel &cheapModel_;
+    const PerfModel &cycleModel_;
+    double threshold_;
+    std::unique_ptr<CoreSession> cheap_;
+    std::unique_ptr<CoreSession> cycle_;   ///< created on escalation
+    std::vector<std::vector<isa::MicroOp>> warmTraces_;
+    const PerfModel *producerModel_ = nullptr;
+    CoreSession *producerSession_ = nullptr;
+    double lastUncertainty_ = 0.0;
+};
+
+} // namespace
+
+std::uint64_t
+cascadeEscalations()
+{
+    return escalations.load(std::memory_order_relaxed);
+}
+
+const PerfModel &
+CascadeModel::cheapModel()
+{
+    return learnedSurrogateTrained() ? perfModel("learned")
+                                     : perfModel("interval");
+}
+
+std::uint64_t
+CascadeModel::cacheTag() const
+{
+    return cheapModel().cacheTag();
+}
+
+std::vector<std::uint64_t>
+CascadeModel::cacheLookupTags() const
+{
+    return {CycleLevelModel::kCacheTag, cheapModel().cacheTag()};
+}
+
+const PerfModel *
+CascadeModel::groundTruthModel() const
+{
+    return &perfModel("cycle");
+}
+
+void
+CascadeModel::selectForRefinement(
+    const std::vector<double> &efficiency,
+    std::vector<std::size_t> &out) const
+{
+    if (efficiency.empty())
+        return;
+    const std::size_t want = std::max<std::size_t>(
+        1, efficiency.size() / kRefineDivisor);
+    std::vector<std::size_t> order(efficiency.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + want,
+                      order.end(),
+                      [&efficiency](std::size_t a, std::size_t b) {
+                          return efficiency[a] > efficiency[b];
+                      });
+    out.assign(order.begin(), order.begin() + want);
+}
+
+std::unique_ptr<CoreSession>
+CascadeModel::makeSession(const uarch::CoreConfig &cfg,
+                          workload::WrongPathGenerator &wrong_path)
+    const
+{
+    return std::make_unique<CascadeSession>(
+        cfg, wrong_path, cheapModel(), perfModel("cycle"),
+        cascadeThreshold());
+}
+
+} // namespace adaptsim::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Confidence-gated cascade backend ("cascade"): bulk design-space
+ * queries are answered by a cheap model — the learned surrogate when
+ * one is trained, the interval analysis otherwise — and only
+ * low-confidence points escalate to cycle-level ground truth.
+ *
+ * Escalation semantics:
+ *
+ *   - Per run: when the cheap session's lastUncertainty() exceeds
+ *     ADAPTSIM_CASCADE_THRESHOLD (IPC units; see common/env), the
+ *     trace is re-run on a lazily created cycle-level session.  The
+ *     cascade session retains every warm trace it has seen and the
+ *     wrong-path generator is untouched by the cheap paths, so for
+ *     the single warm+run shape (the repository's) an escalated
+ *     result is bit-identical to evaluating the cycle backend
+ *     directly.  In multi-interval streams (the controller) a
+ *     session escalating late starts its cycle core from the
+ *     retained warm state only — escalations there are exact from
+ *     the point of creation onward.
+ *   - Per batch: the repository asks selectForRefinement() for
+ *     near-frontier points (the top slice by efficiency — the
+ *     points an adaptivity search acts on) and re-evaluates them on
+ *     groundTruthModel(), caching the result under the cycle tag.
+ *
+ * Escalations are counted process-wide (cascadeEscalations(), obs
+ * counter "backend/cascade/escalations").  Records produced through
+ * the cascade carry the tag of the backend that actually ran —
+ * lastProducer() tells the repository which one that was — so
+ * fidelities never mix in the `.evc` store.
+ */
+
+#ifndef ADAPTSIM_SIM_CASCADE_MODEL_HH
+#define ADAPTSIM_SIM_CASCADE_MODEL_HH
+
+#include "sim/perf_model.hh"
+
+namespace adaptsim::sim
+{
+
+/** Process-wide count of uncertainty escalations to cycle level. */
+std::uint64_t cascadeEscalations();
+
+/** Confidence-gated cheap-or-exact policy backend ("cascade"). */
+class CascadeModel final : public PerfModel
+{
+  public:
+    /** One in this many batch points is refined at ground truth
+     *  (at least one per batch).  Kept small: each refinement costs
+     *  a full cycle-level evaluation. */
+    static constexpr std::size_t kRefineDivisor = 256;
+
+    const char *name() const override { return "cascade"; }
+    Fidelity fidelity() const override { return Fidelity::Learned; }
+
+    /** The cheap model's tag: non-escalated results are exactly its
+     *  records.  (Escalated results carry the cycle tag via
+     *  lastProducer().) */
+    std::uint64_t cacheTag() const override;
+
+    /** Accept cycle-level ground truth first — strictly better than
+     *  anything the cascade would produce — then cheap records. */
+    std::vector<std::uint64_t> cacheLookupTags() const override;
+
+    const PerfModel *groundTruthModel() const override;
+
+    /** Top max(1, n/kRefineDivisor) points by efficiency. */
+    void selectForRefinement(const std::vector<double> &efficiency,
+                             std::vector<std::size_t> &out)
+        const override;
+
+    bool supportsObservers() const override { return false; }
+
+    std::unique_ptr<CoreSession>
+    makeSession(const uarch::CoreConfig &cfg,
+                workload::WrongPathGenerator &wrong_path)
+        const override;
+
+    /** The model answering bulk queries: "learned" when a surrogate
+     *  is installed, else "interval". */
+    static const PerfModel &cheapModel();
+};
+
+} // namespace adaptsim::sim
+
+#endif // ADAPTSIM_SIM_CASCADE_MODEL_HH

@@ -79,6 +79,12 @@ uarch::SimResult
 IntervalSession::run(std::span<const isa::MicroOp> trace,
                      uarch::SimObserver * /* unsupported */)
 {
+    // Degenerate window: a zero-instruction trace yields the
+    // well-defined all-zero result (no divisions reach a zero
+    // denominator downstream; see the empty-trace regression tests).
+    if (trace.empty())
+        return uarch::SimResult{};
+
     uarch::EventCounts ev;
     PassCounts pc;
     std::uint64_t fetch_raw = 0;       ///< L1-I extra latency, raw

@@ -1,0 +1,511 @@
+#include "sim/learned_model.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <mutex>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/serial.hh"
+
+namespace adaptsim::sim
+{
+
+using isa::MicroOp;
+using isa::OpClass;
+
+namespace
+{
+
+/** Direct-mapped line-tag filter: a miss-fraction footprint proxy
+ *  with none of the real hierarchy's replacement state. */
+class LineFilter
+{
+  public:
+    explicit LineFilter(std::size_t lines)
+        : tags_(lines, invalidAddr)
+    {
+    }
+
+    bool
+    miss(Addr line)
+    {
+        Addr &slot = tags_[line & (tags_.size() - 1)];
+        if (slot == line)
+            return false;
+        slot = line;
+        return true;
+    }
+
+  private:
+    std::vector<Addr> tags_;
+};
+
+/** Process-wide surrogate state.  Sessions take a shared_ptr
+ *  snapshot, so a concurrent retrain never invalidates a session
+ *  mid-run. */
+struct SurrogateState
+{
+    std::mutex mutex;
+    std::shared_ptr<const ml::Surrogate> surrogate;
+    bool envTried = false;
+};
+
+SurrogateState &
+surrogateState()
+{
+    static SurrogateState s;
+    return s;
+}
+
+/**
+ * Content-addressed memo of trace summaries.  A phase's detail trace
+ * is summarised once and reused by every configuration evaluated on
+ * it (the summary depends on the trace alone), which removes the
+ * dominant per-evaluation cost of the learned backend.  Keys hash
+ * the fields that define a µop stream, so two traces collide only
+ * if FNV-1a collides — never via pointer reuse.
+ */
+class SummaryCache
+{
+  public:
+    TraceSummary
+    get(std::span<const MicroOp> trace)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        const auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 0x100000001b3ULL;
+        };
+        mix(trace.size());
+        for (const MicroOp &op : trace) {
+            mix(op.pc);
+            mix(op.effAddr);
+            mix((static_cast<std::uint64_t>(op.opClass) << 1) |
+                (op.taken ? 1 : 0));
+        }
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &e : entries_) {
+            if (e.valid && e.hash == h)
+                return e.summary;
+        }
+        TraceSummary s;
+        {
+            // Summarise outside nothing: the pass is cheap enough
+            // that holding the lock keeps racing threads from
+            // duplicating the work.
+            s = summariseTrace(trace);
+        }
+        Entry &slot = entries_[next_];
+        next_ = (next_ + 1) % entries_.size();
+        slot.valid = true;
+        slot.hash = h;
+        slot.summary = s;
+        return s;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t hash = 0;
+        TraceSummary summary;
+    };
+
+    std::mutex mutex_;
+    std::array<Entry, 64> entries_;
+    std::size_t next_ = 0;
+};
+
+SummaryCache &
+summaryCache()
+{
+    static SummaryCache cache;
+    return cache;
+}
+
+double
+log2Of(double v)
+{
+    return v > 1.0 ? std::log2(v) : 0.0;
+}
+
+/**
+ * Miss fraction at the configured capacity, log-interpolated between
+ * the bracketing filter scales.  @p cap_lo/cap_hi are the filter
+ * capacities in bytes.
+ */
+double
+interpolateMiss(double miss_lo, double miss_hi, double cap_lo,
+                double cap_hi, double cap)
+{
+    if (cap <= cap_lo)
+        return miss_lo;
+    if (cap >= cap_hi)
+        return miss_hi;
+    const double t = (std::log2(cap) - std::log2(cap_lo)) /
+                     (std::log2(cap_hi) - std::log2(cap_lo));
+    return miss_lo + (miss_hi - miss_lo) * t;
+}
+
+} // namespace
+
+TraceSummary
+summariseTrace(std::span<const isa::MicroOp> trace)
+{
+    TraceSummary s;
+    s.ops = trace.size();
+    if (s.ops == 0)
+        return s;
+
+    LineFilter i256(256), i4k(4096);
+    LineFilter d256(256), d1k(1024), d8k(8192);
+
+    // Last-direction table for the toggle proxy (tag + direction,
+    // direct-mapped on the branch PC).
+    struct DirEntry
+    {
+        Addr pc = invalidAddr;
+        bool taken = false;
+    };
+    std::vector<DirEntry> dirs(1024);
+
+    // Last-writer trace index per architectural register (int + fp
+    // share the 0..63 space exactly as the interval taint tracker).
+    std::array<std::int64_t, 64> writer;
+    writer.fill(-(std::int64_t{1} << 20));
+
+    std::uint64_t class_count[static_cast<int>(
+        OpClass::NumOpClasses)] = {};
+    std::uint64_t branches = 0, taken = 0, toggles = 0;
+    std::uint64_t fetch_lines = 0, i_miss256 = 0, i_miss4k = 0;
+    std::uint64_t mem_ops = 0, d_miss256 = 0, d_miss1k = 0,
+                  d_miss8k = 0;
+    std::uint64_t short_dep = 0;
+    Addr last_line = invalidAddr;
+
+    for (std::size_t si = 0; si < trace.size(); ++si) {
+        const MicroOp &op = trace[si];
+        const auto i = static_cast<std::int64_t>(si);
+        ++class_count[static_cast<int>(op.opClass)];
+
+        const Addr line =
+            op.pc / uarch::CoreConfig::cacheLineBytes;
+        if (line != last_line) {
+            last_line = line;
+            ++fetch_lines;
+            if (i256.miss(line))
+                ++i_miss256;
+            if (i4k.miss(line))
+                ++i_miss4k;
+        }
+
+        if (op.isMem()) {
+            ++mem_ops;
+            const Addr dline =
+                op.effAddr / uarch::CoreConfig::cacheLineBytes;
+            if (d256.miss(dline))
+                ++d_miss256;
+            if (d1k.miss(dline))
+                ++d_miss1k;
+            if (d8k.miss(dline))
+                ++d_miss8k;
+        } else if (op.isBranch()) {
+            ++branches;
+            if (op.taken)
+                ++taken;
+            DirEntry &e = dirs[(op.pc >> 2) & (dirs.size() - 1)];
+            if (e.pc == op.pc && e.taken != op.taken)
+                ++toggles;
+            e.pc = op.pc;
+            e.taken = op.taken;
+        }
+
+        const auto close = [&](int r) {
+            return r >= 0 && r < 64 &&
+                   i - writer[static_cast<std::size_t>(r)] <= 4;
+        };
+        if (close(op.srcReg0) || close(op.srcReg1))
+            ++short_dep;
+        if (op.destReg >= 0 && op.destReg < 64)
+            writer[static_cast<std::size_t>(op.destReg)] = i;
+    }
+
+    const double n = static_cast<double>(s.ops);
+    for (int c = 0; c < static_cast<int>(OpClass::NumOpClasses); ++c)
+        s.classFrac[c] = static_cast<double>(class_count[c]) / n;
+    if (branches > 0) {
+        s.branchTaken =
+            static_cast<double>(taken) / double(branches);
+        s.branchToggle =
+            static_cast<double>(toggles) / double(branches);
+    }
+    if (fetch_lines > 0) {
+        s.iLineMiss256 =
+            static_cast<double>(i_miss256) / double(fetch_lines);
+        s.iLineMiss4k =
+            static_cast<double>(i_miss4k) / double(fetch_lines);
+    }
+    if (mem_ops > 0) {
+        s.dLineMiss256 =
+            static_cast<double>(d_miss256) / double(mem_ops);
+        s.dLineMiss1k =
+            static_cast<double>(d_miss1k) / double(mem_ops);
+        s.dLineMiss8k =
+            static_cast<double>(d_miss8k) / double(mem_ops);
+    }
+    s.shortDep = static_cast<double>(short_dep) / n;
+    return s;
+}
+
+std::vector<double>
+learnedFeatures(const TraceSummary &s, const uarch::CoreConfig &cfg)
+{
+    std::vector<double> x;
+    x.reserve(40);
+
+    // Trace half.
+    for (double f : s.classFrac)
+        x.push_back(f);
+    x.push_back(s.branchTaken);
+    x.push_back(s.branchToggle);
+    x.push_back(s.iLineMiss256);
+    x.push_back(s.iLineMiss4k);
+    x.push_back(s.dLineMiss256);
+    x.push_back(s.dLineMiss1k);
+    x.push_back(s.dLineMiss8k);
+    x.push_back(s.shortDep);
+
+    // Configuration half (log scales where the space is geometric).
+    const double width = cfg.width;
+    x.push_back(width);
+    x.push_back(1.0 / width);
+    x.push_back(log2Of(cfg.robSize));
+    x.push_back(log2Of(cfg.iqSize));
+    x.push_back(log2Of(cfg.lsqSize));
+    x.push_back(log2Of(cfg.rfSize));
+    x.push_back(cfg.rfRdPorts);
+    x.push_back(cfg.rfWrPorts);
+    x.push_back(log2Of(cfg.gshareEntries));
+    x.push_back(log2Of(cfg.btbEntries));
+    x.push_back(cfg.maxBranches);
+    x.push_back(log2Of(double(cfg.icacheBytes)));
+    x.push_back(log2Of(double(cfg.dcacheBytes)));
+    x.push_back(log2Of(double(cfg.l2Bytes)));
+    x.push_back(cfg.depthFo4);
+    x.push_back(cfg.frontendDelay);
+
+    // Cross terms carrying the analytical structure a linear model
+    // cannot synthesise: miss fraction at the configured capacity ×
+    // the op fraction that pays it.
+    const double mem_frac = s.classFrac[static_cast<int>(
+                                OpClass::Load)] +
+                            s.classFrac[static_cast<int>(
+                                OpClass::Store)];
+    const double d_miss = interpolateMiss(
+        s.dLineMiss256, s.dLineMiss8k, 256.0 * 64.0, 8192.0 * 64.0,
+        double(cfg.dcacheBytes));
+    const double d_miss_mid = interpolateMiss(
+        s.dLineMiss256, s.dLineMiss1k, 256.0 * 64.0, 1024.0 * 64.0,
+        double(cfg.dcacheBytes));
+    const double i_miss = interpolateMiss(
+        s.iLineMiss256, s.iLineMiss4k, 256.0 * 64.0, 4096.0 * 64.0,
+        double(cfg.icacheBytes));
+    const double branch_frac =
+        s.classFrac[static_cast<int>(OpClass::Branch)];
+    x.push_back(mem_frac * d_miss);
+    x.push_back(mem_frac * d_miss_mid);
+    x.push_back(i_miss);
+    x.push_back(branch_frac * s.branchToggle *
+                (cfg.frontendDelay + 10.0));
+    x.push_back(s.shortDep / width);
+    x.push_back(mem_frac * d_miss * s.shortDep);
+    // Latency-weighted stall estimates: L1-D misses pay the L2
+    // latency, the far-footprint residue pays DRAM, L1-I misses
+    // stall the front end, and the ILP-limited floor scales with
+    // 1/width.
+    const double miss_cpi = mem_frac * d_miss * cfg.l2Latency;
+    const double dram_cpi =
+        mem_frac * s.dLineMiss8k * cfg.memLatency /
+        double(1 + log2Of(double(cfg.l2Bytes)));
+    const double bp_cpi = branch_frac * s.branchToggle *
+                          (cfg.frontendDelay + 10.0);
+    x.push_back(miss_cpi);
+    x.push_back(dram_cpi);
+    x.push_back(i_miss * cfg.l2Latency);
+    x.push_back(s.shortDep * (1.0 / width) *
+                (1.0 +
+                 s.classFrac[static_cast<int>(OpClass::FpMul)] +
+                 s.classFrac[static_cast<int>(OpClass::FpDiv)]));
+
+    // Physics feature: a mini interval-style IPC estimate built
+    // from the additive CPI terms above.  The linear head only has
+    // to calibrate it, which captures the 1/x response a linear
+    // model cannot synthesise from the raw knobs.
+    const double base_cpi = 1.0 / width + 0.3 * s.shortDep;
+    const double est_cpi = base_cpi + 0.25 * miss_cpi +
+                           0.5 * dram_cpi + 0.2 * bp_cpi +
+                           0.3 * i_miss * cfg.l2Latency;
+    const double est_ipc =
+        std::clamp(1.0 / est_cpi, 0.05, width);
+    x.push_back(est_ipc);
+    x.push_back(est_ipc * est_ipc / width);
+    return x;
+}
+
+void
+setLearnedSurrogate(ml::Surrogate surrogate)
+{
+    auto &state = surrogateState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.surrogate = surrogate.trained()
+                          ? std::make_shared<const ml::Surrogate>(
+                                std::move(surrogate))
+                          : nullptr;
+    state.envTried = true;   // an explicit install wins over the env
+}
+
+std::shared_ptr<const ml::Surrogate>
+learnedSurrogateSnapshot()
+{
+    auto &state = surrogateState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.surrogate && !state.envTried) {
+        state.envTried = true;
+        const std::string path = surrogatePath();
+        if (!path.empty()) {
+            const std::string text = readFile(path);
+            ml::Surrogate s;
+            if (!text.empty() &&
+                ml::Surrogate::deserialize(text, s))
+                state.surrogate =
+                    std::make_shared<const ml::Surrogate>(
+                        std::move(s));
+            else
+                warn("ADAPTSIM_SURROGATE=", path,
+                     ": cannot load surrogate weights; the "
+                     "\"learned\" backend stays untrained");
+        }
+    }
+    return state.surrogate;
+}
+
+bool
+learnedSurrogateTrained()
+{
+    return learnedSurrogateSnapshot() != nullptr;
+}
+
+bool
+saveLearnedSurrogate(const std::string &path)
+{
+    const auto snapshot = learnedSurrogateSnapshot();
+    if (!snapshot)
+        return false;
+    return atomicWriteFile(path, snapshot->serialize());
+}
+
+namespace
+{
+
+class LearnedSession final : public CoreSession
+{
+  public:
+    LearnedSession(const uarch::CoreConfig &cfg,
+                   std::shared_ptr<const ml::Surrogate> surrogate)
+        : cfg_(cfg), surrogate_(std::move(surrogate))
+    {
+    }
+
+    /** The surrogate predicts steady-state behaviour from the detail
+     *  window itself; there is no cache/predictor state to warm. */
+    void warm(std::span<const isa::MicroOp>) override {}
+
+    uarch::SimResult
+    run(std::span<const isa::MicroOp> trace,
+        uarch::SimObserver * /* unsupported */) override
+    {
+        uarch::SimResult result;
+        const std::uint64_t n = trace.size();
+        if (n == 0) {
+            // Degenerate window: a well-defined empty result, no
+            // division anywhere (see the empty-trace regression
+            // tests).
+            energyPerInst_ = 0.0;
+            uncertainty_ = 0.0;
+            return result;
+        }
+
+        const auto summary = summaryCache().get(trace);
+        const auto x = learnedFeatures(summary, cfg_);
+        const auto p = surrogate_->predict(x);
+
+        // Physical clamps: IPC in (0, width], energy non-negative.
+        const double ipc = std::clamp(
+            p.primary, 0.05, static_cast<double>(cfg_.width));
+        energyPerInst_ = std::max(p.energyPerInst, 1e-12);
+        uncertainty_ = p.uncertainty;
+
+        const auto cycles = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(n) / ipc));
+        result.cycles = cycles;
+        result.events.cycles = cycles;
+        result.events.committedOps = n;
+        result.events.fetchedOps = n;
+        return result;
+    }
+
+    const uarch::CoreConfig &config() const override
+    {
+        return cfg_;
+    }
+
+    /** Metrics straight from the surrogate heads — the event counts
+     *  carry no energy information for this backend. */
+    power::Metrics
+    metricsFor(const uarch::SimResult &result) override
+    {
+        power::Metrics m;
+        m.cycles = static_cast<double>(result.cycles);
+        m.instructions =
+            static_cast<double>(result.events.committedOps);
+        if (m.cycles <= 0.0 || m.instructions <= 0.0)
+            return m;
+        m.seconds = m.cycles * cfg_.clockPeriodSec;
+        m.ipc = m.instructions / m.cycles;
+        m.ips = m.seconds > 0.0 ? m.instructions / m.seconds : 0.0;
+        m.joules = energyPerInst_ * m.instructions;
+        m.watts = m.seconds > 0.0 ? m.joules / m.seconds : 0.0;
+        m.efficiency = power::efficiencyOf(m.ips, m.watts);
+        return m;
+    }
+
+    double lastUncertainty() const override { return uncertainty_; }
+
+  private:
+    uarch::CoreConfig cfg_;
+    std::shared_ptr<const ml::Surrogate> surrogate_;
+    double energyPerInst_ = 0.0;
+    double uncertainty_ = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<CoreSession>
+LearnedModel::makeSession(const uarch::CoreConfig &cfg,
+                          workload::WrongPathGenerator &) const
+{
+    auto snapshot = learnedSurrogateSnapshot();
+    if (!snapshot)
+        fatal("the \"learned\" backend has no fitted surrogate; "
+              "train one with harness::trainLearnedBackend() from "
+              "cached cycle-level records, or set "
+              "ADAPTSIM_SURROGATE to weights saved by "
+              "saveLearnedSurrogate()");
+    return std::make_unique<LearnedSession>(cfg,
+                                            std::move(snapshot));
+}
+
+} // namespace adaptsim::sim

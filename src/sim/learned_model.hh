@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Learned-surrogate backend ("learned"): IPC and energy predicted by
+ * a ridge-regression ensemble (ml/surrogate) from a cheap one-pass
+ * trace summary plus the configuration's knob values.  No cache or
+ * branch-predictor simulation at all — the per-evaluation cost is a
+ * single linear scan of the detail trace and one dot product — so it
+ * sits an order of magnitude below the interval backend, at the cost
+ * of a statistical (rather than mechanistic) error bound.
+ *
+ * Training data comes from cycle-level EvalRecords already sitting in
+ * the `.evc` cache (harness/learned_trainer harvests them); the same
+ * summariseTrace()/learnedFeatures() pair is used at fit and predict
+ * time so the feature spaces match by construction.  The fitted
+ * surrogate is process-wide state: install it with
+ * setLearnedSurrogate() or point ADAPTSIM_SURROGATE at weights saved
+ * by saveLearnedSurrogate().
+ *
+ * Every prediction carries an uncertainty (ensemble spread + novelty,
+ * in IPC units) surfaced through CoreSession::lastUncertainty(); the
+ * cascade backend gates on it (sim/cascade_model).
+ */
+
+#ifndef ADAPTSIM_SIM_LEARNED_MODEL_HH
+#define ADAPTSIM_SIM_LEARNED_MODEL_HH
+
+#include <memory>
+
+#include "ml/surrogate.hh"
+#include "sim/perf_model.hh"
+
+namespace adaptsim::sim
+{
+
+/**
+ * Cheap one-pass summary of a µop trace: the phase half of the
+ * learned feature vector.  Everything is a fraction (per op, per
+ * branch, or per memory op), so summaries of different window
+ * lengths live on a common scale.
+ */
+struct TraceSummary
+{
+    std::uint64_t ops = 0;
+
+    /** Per-OpClass fraction of ops, indexed by isa::OpClass. */
+    double classFrac[static_cast<int>(isa::OpClass::NumOpClasses)] =
+        {};
+
+    double branchTaken = 0.0;   ///< taken fraction of branches
+    /** Fraction of branches whose direction differs from the same
+     *  PC's previous occurrence — a predictability proxy. */
+    double branchToggle = 0.0;
+
+    // Footprint proxies: miss fractions of direct-mapped line-tag
+    // filters at three scales (per fetch line / per memory op).
+    // They bracket the design space's cache sizes so an interaction
+    // with the configured size recovers a miss-rate estimate.
+    double iLineMiss256 = 0.0;   ///< 256 lines = 16 KiB
+    double iLineMiss4k = 0.0;    ///< 4096 lines = 256 KiB
+    double dLineMiss256 = 0.0;
+    double dLineMiss1k = 0.0;
+    double dLineMiss8k = 0.0;    ///< 8192 lines = 512 KiB
+
+    /** Fraction of ops reading a value produced ≤4 ops earlier —
+     *  a dependence-chain (ILP-limiting) proxy. */
+    double shortDep = 0.0;
+};
+
+/** One linear pass over @p trace; deterministic, no model state. */
+TraceSummary summariseTrace(std::span<const isa::MicroOp> trace);
+
+/**
+ * The combined (trace, config) feature vector the surrogate is fit
+ * on and queried with.  Train-time and predict-time features MUST
+ * come from this one function.
+ */
+std::vector<double> learnedFeatures(const TraceSummary &summary,
+                                    const uarch::CoreConfig &cfg);
+
+/** Install the process-wide fitted surrogate (thread-safe). */
+void setLearnedSurrogate(ml::Surrogate surrogate);
+
+/** Whether a fitted surrogate is installed (or loadable from
+ *  ADAPTSIM_SURROGATE, tried once on first query). */
+bool learnedSurrogateTrained();
+
+/** Snapshot of the installed surrogate; nullptr when untrained. */
+std::shared_ptr<const ml::Surrogate> learnedSurrogateSnapshot();
+
+/** Persist the installed surrogate to @p path (atomic write);
+ *  false when untrained or the write fails. */
+bool saveLearnedSurrogate(const std::string &path);
+
+/** The learned-surrogate backend ("learned"). */
+class LearnedModel final : public PerfModel
+{
+  public:
+    /** Distinct nonzero tag: surrogate records never collide with
+     *  cycle-level (0) or interval records in caches. */
+    static constexpr std::uint64_t kCacheTag = 0x4c4541524e4d444cULL;
+
+    const char *name() const override { return "learned"; }
+    Fidelity fidelity() const override { return Fidelity::Learned; }
+    std::uint64_t cacheTag() const override { return kCacheTag; }
+
+    /** Predictions have no per-cycle structure to observe. */
+    bool supportsObservers() const override { return false; }
+
+    /** Fatal when no surrogate is installed (the error says how to
+     *  train one). */
+    std::unique_ptr<CoreSession>
+    makeSession(const uarch::CoreConfig &cfg,
+                workload::WrongPathGenerator &wrong_path)
+        const override;
+};
+
+} // namespace adaptsim::sim
+
+#endif // ADAPTSIM_SIM_LEARNED_MODEL_HH

@@ -7,8 +7,10 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/obs.hh"
+#include "sim/cascade_model.hh"
 #include "sim/cycle_level_model.hh"
 #include "sim/interval_model.hh"
+#include "sim/learned_model.hh"
 
 namespace adaptsim::sim
 {
@@ -72,6 +74,8 @@ ensureBuiltins(ModelRegistry &r)
         std::lock_guard<std::mutex> lock(r.mutex);
         registerLocked(r, std::make_unique<CycleLevelModel>());
         registerLocked(r, std::make_unique<IntervalModel>());
+        registerLocked(r, std::make_unique<LearnedModel>());
+        registerLocked(r, std::make_unique<CascadeModel>());
     });
 }
 
@@ -95,6 +99,8 @@ fidelityName(Fidelity f)
         return "cycle-level";
       case Fidelity::Analytical:
         return "analytical";
+      case Fidelity::Learned:
+        return "learned";
     }
     return "unknown";
 }
@@ -177,7 +183,7 @@ PerfModel::evaluate(const space::Configuration &config,
     if (!warm_trace.empty())
         session->warm(warm_trace);
     const auto result = run(*session, detail_trace);
-    return power::computeMetrics(cc, result.events);
+    return session->metricsFor(result);
 }
 
 } // namespace adaptsim::sim

@@ -47,11 +47,14 @@ namespace adaptsim::sim
 enum class Fidelity
 {
     CycleLevel,   ///< detailed cycle-by-cycle pipeline simulation
-    Analytical    ///< event-driven analytical estimate
+    Analytical,   ///< event-driven analytical estimate
+    Learned       ///< statistical surrogate fit to cycle-level data
 };
 
 /** Human-readable fidelity name. */
 const char *fidelityName(Fidelity f);
+
+class PerfModel;
 
 /**
  * One configured simulated core owned by a backend: caches and
@@ -78,6 +81,33 @@ class CoreSession
 
     /** The derived configuration this session was built from. */
     virtual const uarch::CoreConfig &config() const = 0;
+
+    /**
+     * Turn a run() result into full power/performance metrics.  The
+     * default derives everything from the synthesised event counts;
+     * backends that predict time/energy directly (the learned
+     * surrogate) override this so their energy estimate is not
+     * laundered through per-event energy accounting of events they
+     * never modelled.
+     */
+    virtual power::Metrics metricsFor(const uarch::SimResult &result)
+    {
+        return power::computeMetrics(config(), result.events);
+    }
+
+    /**
+     * The backend that actually produced the most recent run()
+     * result, for policy backends that delegate (the cascade
+     * escalating to cycle-level).  nullptr means "the owning
+     * backend itself" — the common case.
+     */
+    virtual const PerfModel *lastProducer() const { return nullptr; }
+
+    /**
+     * Confidence of the most recent run() result, in IPC units
+     * (estimated absolute IPC error).  Exact backends report 0.
+     */
+    virtual double lastUncertainty() const { return 0.0; }
 };
 
 /** Abstract performance-model backend (stateless; sessions carry
@@ -104,6 +134,41 @@ class PerfModel
     /** Whether run() drives SimObserver callbacks (per-cycle
      *  samples, cache/branch probes) — required for profiling. */
     virtual bool supportsObservers() const = 0;
+
+    /**
+     * Cache tags whose records may answer a query to this backend,
+     * probed in order.  The default is just cacheTag(); a policy
+     * backend widens this (the cascade accepts cycle-level ground
+     * truth — strictly better — before its own cheap records).
+     */
+    virtual std::vector<std::uint64_t> cacheLookupTags() const
+    {
+        return {cacheTag()};
+    }
+
+    /**
+     * The exact backend this one escalates to, or nullptr when
+     * results are final.  Non-null enables the repository's batch
+     * near-frontier refinement (see selectForRefinement).
+     */
+    virtual const PerfModel *groundTruthModel() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Pick indices of a finished batch (per-point efficiency in
+     * @p efficiency) worth re-evaluating at ground truth — the
+     * near-frontier points an adaptivity search will act on.  Only
+     * consulted when groundTruthModel() is non-null; default none.
+     */
+    virtual void
+    selectForRefinement(const std::vector<double> &efficiency,
+                        std::vector<std::size_t> &out) const
+    {
+        (void)efficiency;
+        (void)out;
+    }
 
     /** Create a fresh core session for @p cfg. */
     virtual std::unique_ptr<CoreSession>

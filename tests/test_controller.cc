@@ -5,8 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
 #include "control/controller.hh"
 #include "harness/gather.hh"
+#include "harness/learned_trainer.hh"
+#include "harness/repository.hh"
+#include "sim/perf_model.hh"
+#include "space/sampling.hh"
 #include "workload/spec_suite.hh"
 
 using namespace adaptsim;
@@ -143,4 +153,105 @@ TEST(Controller, ProfilingOverheadIsCharged)
     // Every executed instruction is accounted exactly once.
     EXPECT_EQ(stats.instructions, 40000u);
     EXPECT_GT(stats.joules, 0.0);
+}
+
+namespace
+{
+
+/** Install a gzip-trained learned surrogate (production training
+ *  path) so the cascade's cheap model is in-distribution for the
+ *  cascade-vs-cycle runs below. */
+void
+ensureTrainedSurrogate()
+{
+    static const bool done = []() {
+        const std::string dir = "/tmp/adaptsim_controller_train";
+        std::filesystem::remove_all(dir);
+        {
+            harness::EvalRepository repo(workload::specSuite(200000),
+                                         dir, 2);
+            std::vector<harness::PhaseSpec> specs;
+            for (std::uint64_t start : {20000ull, 80000ull}) {
+                specs.push_back(harness::PhaseSpec{"gzip", 200000,
+                                                   start, 2000,
+                                                   4000});
+                Rng rng(31);
+                (void)repo.evaluateBatch(
+                    specs.back(),
+                    space::uniformRandomSet(rng, 16),
+                    &sim::perfModel("cycle"));
+            }
+            const auto report =
+                harness::trainLearnedBackend(repo, specs);
+            if (!report.trained)
+                return false;
+        }
+        std::filesystem::remove_all(dir);
+        return true;
+    }();
+    ASSERT_TRUE(done);
+}
+
+} // namespace
+
+TEST(Controller, CascadeForcedEscalationMatchesCycleBitExactly)
+{
+    // Threshold -1 escalates every execution interval from the very
+    // first run, so the whole adaptive trajectory — phase decisions,
+    // reconfigurations, timing, energy — must equal the cycle
+    // backend's exactly (profiling intervals use the observer-capable
+    // cycle model in both runs).
+    ensureTrainedSurrogate();
+    const auto wl = workload::specBenchmark("gzip", 200000);
+    const auto model = dummyModel();
+    ControllerOptions opt;
+    opt.intervalLength = 5000;
+    opt.initialConfig = harness::paperBaselineConfig();
+
+    opt.backend = &sim::perfModel("cycle");
+    AdaptiveController ref_ctl(wl, model, opt);
+    const auto ref = ref_ctl.run(60000);
+
+    setenv("ADAPTSIM_CASCADE_THRESHOLD", "-1", 1);
+    opt.backend = &sim::perfModel("cascade");
+    AdaptiveController cas_ctl(wl, model, opt);
+    const auto got = cas_ctl.run(60000);
+    unsetenv("ADAPTSIM_CASCADE_THRESHOLD");
+
+    EXPECT_EQ(got.intervals, ref.intervals);
+    EXPECT_EQ(got.instructions, ref.instructions);
+    EXPECT_EQ(got.phaseChanges, ref.phaseChanges);
+    EXPECT_EQ(got.reconfigurations, ref.reconfigurations);
+    EXPECT_EQ(got.seconds, ref.seconds);
+    EXPECT_EQ(got.joules, ref.joules);
+}
+
+TEST(Controller, CascadeTracksCycleLevelDecisions)
+{
+    // At the default confidence threshold the cascade may answer
+    // execution intervals from the surrogate: the adaptive decisions
+    // (driven by cycle-level profiling in both runs) must be
+    // identical, and the surrogate-estimated time/energy must stay
+    // within a loose tolerance of ground truth.
+    ensureTrainedSurrogate();
+    const auto wl = workload::specBenchmark("gzip", 200000);
+    const auto model = dummyModel();
+    ControllerOptions opt;
+    opt.intervalLength = 5000;
+    opt.initialConfig = harness::paperBaselineConfig();
+
+    opt.backend = &sim::perfModel("cycle");
+    AdaptiveController ref_ctl(wl, model, opt);
+    const auto ref = ref_ctl.run(60000);
+
+    opt.backend = &sim::perfModel("cascade");
+    AdaptiveController cas_ctl(wl, model, opt);
+    const auto got = cas_ctl.run(60000);
+
+    EXPECT_EQ(got.intervals, ref.intervals);
+    EXPECT_EQ(got.instructions, ref.instructions);
+    EXPECT_EQ(got.phaseChanges, ref.phaseChanges);
+    EXPECT_EQ(got.reconfigurations, ref.reconfigurations);
+    EXPECT_NEAR(got.seconds, ref.seconds, 0.35 * ref.seconds);
+    EXPECT_NEAR(got.joules, ref.joules, 0.35 * ref.joules);
 }

@@ -64,9 +64,19 @@ TEST(Lint, DeterminismBansEntropyInCore)
 
 TEST(Lint, DeterminismScopedToCoreDirs)
 {
-    // The same entropy sources are legal outside the simulation core
-    // (harness, obs, bench, tests)...
-    EXPECT_TRUE(lint("src/harness/x.cc", "int x = rand();\n").empty());
+    // The harness and controller drive reproducible experiments
+    // (shared eval cache, paper tables), so they sit inside the
+    // determinism scope too.
+    const auto h = lint("src/harness/x.cc", "int x = rand();\n");
+    ASSERT_EQ(h.size(), 1u);
+    EXPECT_EQ(h[0].rule, "determinism");
+    EXPECT_EQ(
+        lint("src/control/x.cc", "auto t = time(nullptr);\n").size(),
+        1u);
+
+    // The same entropy sources are legal outside the simulation and
+    // experiment core (obs, bench, tests)...
+    EXPECT_TRUE(lint("src/obs/x.cc", "int x = rand();\n").empty());
     EXPECT_TRUE(lint("tests/x.cc", "std::mt19937 g;\n").empty());
     // ...and identifiers merely *containing* a banned token never
     // trip the word-boundary matcher.

@@ -219,7 +219,9 @@ classify(const std::string &path)
                             startsWith(path, "src/ml/") ||
                             startsWith(path, "src/workload/") ||
                             startsWith(path, "src/phase/") ||
-                            startsWith(path, "src/sim/");
+                            startsWith(path, "src/sim/") ||
+                            startsWith(path, "src/harness/") ||
+                            startsWith(path, "src/control/");
     fc.envExempt = path == "src/common/env.cc";
     fc.loggingExempt = path == "src/common/logging.hh" ||
                        startsWith(path, "tools/lint/");

@@ -8,9 +8,11 @@
  *
  *   determinism             no rand()/srand()/std::random_device/
  *                           time()/system_clock/std::mt19937 inside
- *                           the simulation core (src/uarch, src/ml,
- *                           src/workload, src/phase) — all randomness
- *                           must flow through common/rng
+ *                           the simulation and experiment core
+ *                           (src/uarch, src/ml, src/workload,
+ *                           src/phase, src/sim, src/harness,
+ *                           src/control) — all randomness must flow
+ *                           through common/rng
  *   env                     std::getenv only inside src/common/env.cc;
  *                           everything else goes through the helpers
  *   logging                 no raw stderr writes (std::cerr,
