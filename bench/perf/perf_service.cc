@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Multi-client evaluation-service load generator.
+ *
+ * Three measurements around one fixed evaluation workload (a config
+ * pool swept over a small phase set):
+ *
+ *   perf_service_local   cold in-process EvalRepository baseline —
+ *                        the path a gather takes with no daemon.
+ *   perf_service_cold    cold daemon: per rep a fresh store + server
+ *                        come up and N concurrent clients pipeline
+ *                        disjoint slices of the pool, so the server's
+ *                        batch coalescing merges their requests.
+ *   perf_service_warm    warm daemon: the store already holds every
+ *                        record; N clients re-query the whole pool
+ *                        and the replies' cache-hit tags are counted.
+ *
+ * A final perf_service_stats line records the client count and the
+ * warm-run hit rate.  The cold/local ratio is the protocol + daemon
+ * overhead on top of the identical simulation work.
+ */
+
+#include "perf_harness.hh"
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "harness/repository.hh"
+#include "space/sampling.hh"
+#include "svc/client.hh"
+#include "svc/server.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+namespace
+{
+
+constexpr std::uint64_t kProgramLength = 400000;
+
+/** The phase windows every measurement evaluates (perf_gather's
+ *  shape: warm 12k + detail 6k µops on gcc/crafty). */
+std::vector<harness::PhaseSpec>
+phaseSet(bool smoke)
+{
+    std::vector<harness::PhaseSpec> specs;
+    const std::size_t per_program = smoke ? 1 : 2;
+    for (const char *prog : {"gcc", "crafty"})
+        for (std::size_t i = 0; i < per_program; ++i)
+            specs.push_back({prog, kProgramLength,
+                             40000 + i * 60000, 12000, 6000});
+    return specs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = perf::PerfOptions::parse(argc, argv);
+
+    const std::size_t clients = opt.smoke ? 2 : 4;
+    const std::size_t pool_size = opt.smoke ? 8 : 16;
+    const unsigned threads = 2;
+
+    const auto specs = phaseSet(opt.smoke);
+    Rng rng(2010);
+    const auto pool =
+        space::dedupe(space::uniformRandomSet(rng, pool_size));
+
+    const auto tmp = std::filesystem::temp_directory_path();
+    const auto local_dir = tmp / "adaptsim_perf_service_local";
+    const auto daemon_dir = tmp / "adaptsim_perf_service_daemon";
+    const std::string socket =
+        (tmp / "adaptsim_perf_service.sock").string();
+
+    std::atomic<std::uint64_t> replies{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> failures{0};
+
+    /** One client thread: pipeline @p mine over every spec. */
+    const auto clientRun =
+        [&](const std::vector<space::Configuration> &mine) {
+            auto client = svc::EvalClient::connect(socket);
+            if (!client) {
+                failures += mine.size() * specs.size();
+                return;
+            }
+            for (const auto &spec : specs) {
+                std::vector<std::uint64_t> ids;
+                ids.reserve(mine.size());
+                for (const auto &cfg : mine)
+                    ids.push_back(client->submit(spec, cfg));
+                for (const auto id : ids) {
+                    const auto r = client->wait(id);
+                    if (!r.ok) {
+                        ++failures;
+                        continue;
+                    }
+                    ++replies;
+                    if (r.cacheHit)
+                        ++hits;
+                }
+            }
+        };
+
+    /** Fan @p slices out over concurrent client threads. */
+    const auto runClients =
+        [&](const std::vector<std::vector<space::Configuration>>
+                &slices) {
+            std::vector<std::thread> workers;
+            workers.reserve(slices.size());
+            for (const auto &slice : slices)
+                workers.emplace_back(clientRun, std::cref(slice));
+            for (auto &w : workers)
+                w.join();
+        };
+
+    // Disjoint slices (round-robin) for the cold run: together the
+    // clients cover the pool exactly once per spec.
+    std::vector<std::vector<space::Configuration>> disjoint(clients);
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        disjoint[i % clients].push_back(pool[i]);
+
+    svc::ServerOptions sopt;
+    sopt.socketPath = socket;
+    sopt.maxQueue = 0;   // measure throughput, not shedding
+    sopt.quiet = true;   // stdout carries only the JSON lines
+
+    // ---- in-process baseline: same work, no daemon in the path.
+    double items = 0.0;
+    const auto local_secs = perf::runTimed(opt, items, [&]() {
+        std::filesystem::remove_all(local_dir);
+        harness::EvalRepository repo(
+            workload::specSuite(kProgramLength), local_dir.string(),
+            threads);
+        double evals = 0.0;
+        for (const auto &spec : specs)
+            evals += static_cast<double>(
+                repo.evaluateBatch(spec, pool).size());
+        return evals;
+    });
+    std::filesystem::remove_all(local_dir);
+    perf::emitJson("perf_service_local", opt, local_secs, items,
+                   "evals");
+
+    // ---- cold daemon: fresh store + server per rep, concurrent
+    //      clients pipelining disjoint slices.
+    const auto cold_secs = perf::runTimed(opt, items, [&]() {
+        std::filesystem::remove_all(daemon_dir);
+        harness::EvalRepository repo(
+            workload::specSuite(kProgramLength), daemon_dir.string(),
+            threads);
+        svc::EvalServer server(repo, sopt);
+        if (!server.start())
+            fatal("perf_service: cannot serve on ", socket);
+        replies = 0;
+        runClients(disjoint);
+        server.stop();
+        return static_cast<double>(replies.load());
+    });
+    perf::emitJson("perf_service_cold", opt, cold_secs, items,
+                   "evals");
+
+    // ---- warm daemon: one long-lived store already holding every
+    //      record; every client re-queries the whole pool.
+    std::filesystem::remove_all(daemon_dir);
+    std::vector<double> warm_secs;
+    double hit_rate = 0.0;
+    {
+        harness::EvalRepository repo(
+            workload::specSuite(kProgramLength), daemon_dir.string(),
+            threads);
+        for (const auto &spec : specs)
+            (void)repo.evaluateBatch(spec, pool);   // prime the store
+        svc::EvalServer server(repo, sopt);
+        if (!server.start())
+            fatal("perf_service: cannot serve on ", socket);
+
+        const std::vector<std::vector<space::Configuration>> whole(
+            clients, pool);
+        warm_secs = perf::runTimed(opt, items, [&]() {
+            replies = 0;
+            hits = 0;
+            runClients(whole);
+            const auto total = replies.load();
+            hit_rate = total
+                           ? static_cast<double>(hits.load()) /
+                                 static_cast<double>(total)
+                           : 0.0;
+            return static_cast<double>(total);
+        });
+        server.stop();
+    }
+    std::filesystem::remove_all(daemon_dir);
+    perf::emitJson("perf_service_warm", opt, warm_secs, items,
+                   "evals");
+
+    if (failures.load() > 0)
+        warn("perf_service: ", failures.load(),
+             " requests failed (results unreliable)");
+    std::printf("{\"name\":\"perf_service_stats\",\"clients\":%zu,"
+                "\"warm_hit_rate\":%.4f}\n",
+                clients, hit_rate);
+    return 0;
+}

@@ -18,7 +18,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${BENCH_OUT:-BENCH_perf.json}"
 BENCHES=(perf_pipeline perf_interval perf_tracegen perf_gather
-         perf_train perf_learned)
+         perf_train perf_learned perf_service)
+
+echo "perf: will run ${#BENCHES[@]} benchmarks: ${BENCHES[*]}" >&2
 
 command -v python3 > /dev/null 2>&1 || {
     echo "perf: python3 is required to assemble $OUT" >&2
@@ -27,6 +29,19 @@ command -v python3 > /dev/null 2>&1 || {
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}"
+
+# A bench that configured but did not produce a binary (e.g. a
+# CMakeLists edit that dropped it from the target list) must fail
+# here, by name — not as a cryptic exec error mid-assembly.
+missing=0
+for bench in "${BENCHES[@]}"; do
+    if [ ! -x "$BUILD_DIR/bench/perf/$bench" ]; then
+        echo "perf: benchmark binary missing after build:" \
+             "$BUILD_DIR/bench/perf/$bench" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
 
 # Each binary emits one JSON object per measurement per line (a
 # binary may emit several — perf_interval reports the interval

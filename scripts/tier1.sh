@@ -5,7 +5,8 @@
 #      containment objects, which compile with the main build
 #   2. ThreadSanitizer pass over the concurrency-critical tests
 #      (thread pool, shared simulation repository, shared trace
-#      cache, metrics registry, perf-model backend registry)
+#      cache, metrics registry, perf-model backend registry, and the
+#      evaluation service with its concurrent-client storm)
 #   3. AddressSanitizer+UBSan pass over the full test suite
 #   4. -DADAPTSIM_OBS=OFF build proving the instrumentation compiles
 #      out cleanly
@@ -23,13 +24,13 @@ san_available() {
 }
 
 # 1. Build + full suite (lint gate included).  The perf micro-
-# benchmarks build here too so they cannot rot, but only run via
-# scripts/perf.sh.
+# benchmarks and the adaptsimd daemon build here too so they cannot
+# rot; the benches only run via scripts/perf.sh.
 cmake -B build -S .
 cmake --build build -j
 cmake --build build -j \
     --target perf_pipeline perf_interval perf_tracegen perf_gather \
-             perf_train perf_learned
+             perf_train perf_learned perf_service adaptsimd
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # 2. TSan over the concurrency tests.
@@ -37,9 +38,9 @@ if san_available thread; then
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
         --target test_thread_pool test_repository test_trace_cache \
-                 test_obs test_sim
+                 test_obs test_sim test_svc
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$'
+        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$|test_svc'
 else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi

@@ -37,6 +37,11 @@ constexpr std::size_t kRecordPayload = kRecordSize - 8;
 constexpr std::size_t kRecordSizeV1 = 72;
 constexpr std::size_t kRecordPayloadV1 = kRecordSizeV1 - 8;
 
+/** Upper bound on shard files probed on load (matches the env
+ *  clamp), so a store written under any legal shard count is found
+ *  regardless of the current one. */
+constexpr std::size_t kMaxShards = 64;
+
 std::string
 encodeHeader()
 {
@@ -137,8 +142,11 @@ PhaseSpec::key() const
 }
 
 EvalRepository::EvalRepository(std::vector<workload::Workload> suite,
-                               std::string data_dir, unsigned threads)
+                               std::string data_dir, unsigned threads,
+                               std::size_t shards)
     : suite_(std::move(suite)), dataDir_(std::move(data_dir)),
+      shards_(shards > 0 ? std::min(shards, kMaxShards)
+                         : adaptsim::evalShards()),
       pool_(threads), flushEvery_(adaptsim::flushEvery())
 {
     std::error_code ec;
@@ -156,17 +164,35 @@ EvalRepository::~EvalRepository()
 const workload::Workload &
 EvalRepository::workload(const std::string &name) const
 {
-    for (const auto &wl : suite_) {
-        if (wl.name() == name)
-            return wl;
-    }
+    if (const auto *wl = findWorkload(name))
+        return *wl;
     fatal("unknown workload in repository: ", name);
 }
 
-std::string
-EvalRepository::cachePath(const PhaseSpec &spec) const
+const workload::Workload *
+EvalRepository::findWorkload(const std::string &name) const
 {
-    return dataDir_ + "/" + spec.key() + ".evc";
+    for (const auto &wl : suite_) {
+        if (wl.name() == name)
+            return &wl;
+    }
+    return nullptr;
+}
+
+std::size_t
+EvalRepository::shardOf(const EvalKey &key) const
+{
+    return EvalKeyHash{}(key) % shards_;
+}
+
+std::string
+EvalRepository::shardPath(const std::string &spec_key,
+                          std::size_t i) const
+{
+    if (i == 0)
+        return dataDir_ + "/" + spec_key + ".evc";
+    return dataDir_ + "/" + spec_key + ".s" + std::to_string(i) +
+           ".evc";
 }
 
 std::string
@@ -184,8 +210,11 @@ EvalRepository::profilePath(const PhaseSpec &spec) const
 bool
 EvalRepository::loadBinaryCache(const std::string &path,
                                 const std::string &bytes,
-                                PhaseCache &cache)
+                                PhaseCache &cache,
+                                std::size_t shard_index,
+                                bool &misplaced)
 {
+    misplaced = false;
     if (bytes.empty())
         return false;
     if (!hasMagic(bytes) || bytes.size() < kHeaderSize) {
@@ -220,6 +249,8 @@ EvalRepository::loadBinaryCache(const std::string &path,
             continue;
         }
         const EvalKey key{getU64(p + 8), getU64(p)};
+        if (shardOf(key) != shard_index)
+            misplaced = true;
         if (cache.records.emplace(key, decodeDoubles(p + 16)).second)
             ++count;
     }
@@ -280,12 +311,13 @@ EvalRepository::adoptRecords(const PhaseCache &from,
 {
     for (const auto &[key, r] : from.records) {
         if (cache.records.emplace(key, r).second) {
-            cache.unsaved.emplace_back(key, r);
-            ++unsavedTotal_;
             ++migrated_;
             OBS_ONLY(repoMetrics().migrated.add(1);)
         }
     }
+    // Adopted records come from another layout/format; the next
+    // flush rewrites the whole store in the current one.
+    cache.needRewrite = true;
 }
 
 void
@@ -312,11 +344,8 @@ EvalRepository::loadLegacyCsv(const std::string &path,
             // CSV predates the backend seam: cycle-level records.
             const EvalKey key{sim::CycleLevelModel::kCacheTag,
                               code};
-            if (cache.records.emplace(key, r).second) {
-                cache.unsaved.emplace_back(key, r);
-                ++unsavedTotal_;
+            if (cache.records.emplace(key, r).second)
                 ++adopted;
-            }
         } else {
             ++bad;
         }
@@ -330,6 +359,7 @@ EvalRepository::loadLegacyCsv(const std::string &path,
     }
     migrated_ += adopted;
     OBS_ONLY(repoMetrics().migrated.add(adopted);)
+    cache.needRewrite = true;
     cache.legacyPending = true;
 }
 
@@ -337,39 +367,74 @@ void
 EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
 {
     cache.loaded = true;
-    const std::string path = cachePath(spec);
-    const std::string bytes = readFile(path);
-    if (headerVersion(bytes) == 1) {
-        // Pre-seam file: adopt its records as cycle-level and leave
-        // haveBinaryFile false so the next flush atomically rewrites
-        // the whole file in the current format.
-        PhaseCache tmp;
-        if (loadV1Cache(path, bytes, tmp))
-            adoptRecords(tmp, cache);
-        cache.haveBinaryFile = false;
-    } else {
-        cache.haveBinaryFile = loadBinaryCache(path, bytes, cache);
+    cache.shardState.resize(shards_);
+    cache.shardFileMutex.reserve(shards_);
+    for (std::size_t i = 0; i < shards_; ++i)
+        cache.shardFileMutex.push_back(
+            std::make_unique<std::mutex>());
+
+    // Probe every possible shard file so a store written under a
+    // different shard count is still found whole.  Files beyond the
+    // current count — or whose records hash elsewhere under it —
+    // mark the store for an atomic rewrite in the current layout.
+    const std::string key = spec.key();
+    for (std::size_t i = 0; i < kMaxShards; ++i) {
+        const std::string path = shardPath(key, i);
+        const std::string bytes = readFile(path);
+        if (bytes.empty())
+            continue;
+        if (headerVersion(bytes) == 1) {
+            // Pre-seam file: adopt its records as cycle-level; the
+            // next flush rewrites the store in the current format.
+            PhaseCache tmp;
+            if (loadV1Cache(path, bytes, tmp))
+                adoptRecords(tmp, cache);
+            cache.needRewrite = true;
+            continue;
+        }
+        bool misplaced = false;
+        const bool valid = loadBinaryCache(path, bytes, cache,
+                                           i % shards_, misplaced);
+        if (i >= shards_) {
+            // Stray shard from a larger previous count: its records
+            // are adopted; the rewrite removes the file.
+            cache.needRewrite = true;
+        } else if (valid && !misplaced) {
+            cache.shardState[i].haveBinaryFile = true;
+        } else if (misplaced) {
+            cache.needRewrite = true;
+        }
+    }
+    if (cache.needRewrite) {
+        for (auto &shard : cache.shardState)
+            shard.haveBinaryFile = false;
     }
 
     // Legacy (pre-format) cache: sniff the header, adopt whatever
-    // records the new file does not already have, and queue them so
-    // the next flush rewrites them in the new format.
+    // records the shard files do not already have, and queue a
+    // rewrite so they land in the current format.
     const std::string legacy = legacyCachePath(spec);
     const std::string legacy_bytes = readFile(legacy);
     if (legacy_bytes.empty())
         return;
     if (hasMagic(legacy_bytes)) {
         PhaseCache tmp;
+        bool ignored = false;
         const bool got =
             headerVersion(legacy_bytes) == 1
                 ? loadV1Cache(legacy, legacy_bytes, tmp)
-                : loadBinaryCache(legacy, legacy_bytes, tmp);
+                : loadBinaryCache(legacy, legacy_bytes, tmp, 0,
+                                  ignored);
         if (got) {
             adoptRecords(tmp, cache);
             cache.legacyPending = true;
         }
     } else {
         loadLegacyCsv(legacy, legacy_bytes, cache);
+    }
+    if (cache.needRewrite) {
+        for (auto &shard : cache.shardState)
+            shard.haveBinaryFile = false;
     }
 }
 
@@ -464,7 +529,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     // actually produced it, so a cascade escalation yields a real
     // cycle-level record other backends can reuse.
     const EvalKey key{producer->cacheTag(), code};
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     simSeconds_ += secs;
     ++simulated_;
     ++simulatedByBackend_[producer->name()];
@@ -473,12 +538,75 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     // is deterministic, so both results are identical); only the
     // first insert is queued for persistence.
     const auto [it, inserted] = cache.records.emplace(key, r);
-    if (inserted) {
-        cache.unsaved.emplace_back(key, r);
-        if (++unsavedTotal_ >= flushEvery_)
-            flushLocked();
+    const EvalRecord stored = it->second;
+    if (!inserted)
+        return stored;
+
+    const std::size_t s = shardOf(key);
+    auto &shard = cache.shardState[s];
+    shard.unsaved.emplace_back(key, r);
+    if (shard.unsaved.size() < flushEvery_)
+        return stored;
+
+    if (cache.needRewrite || cache.legacyPending ||
+        !shard.haveBinaryFile) {
+        // The store needs structural work (layout rewrite, format
+        // migration, first write): take the slow path.
+        flushLocked();
+        return stored;
     }
-    return it->second;
+
+    // Fast path: this shard has a valid file, so its batch can be
+    // appended without the global lock.  Swap the batch out under
+    // mutex_, do the I/O under the shard's file mutex only, then
+    // relock to update counters.  Other shards — and other phase
+    // caches — keep evaluating meanwhile.  A concurrent atomic
+    // rewrite renaming the file away is benign: the batch records
+    // are already in cache.records, so the rewrite includes them.
+    std::vector<std::pair<EvalKey, EvalRecord>> batch;
+    batch.swap(shard.unsaved);
+    std::mutex &file_mutex = *cache.shardFileMutex[s];
+    const std::string path = shardPath(spec.key(), s);
+    lock.unlock();
+
+    std::string bytes;
+    for (const auto &[ek, rec] : batch)
+        encodeRecord(bytes, ek, rec);
+    bool ok;
+    {
+        std::lock_guard<std::mutex> file_lock(file_mutex);
+        ok = appendFileSync(path, bytes);
+    }
+
+    lock.lock();
+    if (ok) {
+        flushed_ += batch.size();
+        OBS_ONLY(repoMetrics().flushed.add(batch.size());)
+    } else {
+        warn("cannot persist cache shard ", path);
+        // Re-queue so a later flush (or the destructor) retries.
+        auto &again = cache.shardState[s].unsaved;
+        again.insert(again.end(), batch.begin(), batch.end());
+    }
+    return stored;
+}
+
+bool
+EvalRepository::peekCached(const PhaseSpec &spec,
+                           const space::Configuration &config,
+                           const sim::PerfModel *backend)
+{
+    const sim::PerfModel &model =
+        backend ? *backend : sim::defaultPerfModel();
+    const std::uint64_t code = config.encode();
+    const auto tags = model.cacheLookupTags();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &cache = cacheFor(spec);
+    for (const std::uint64_t tag : tags) {
+        if (cache.records.count(EvalKey{tag, code}) > 0)
+            return true;
+    }
+    return false;
 }
 
 std::vector<EvalRecord>
@@ -681,40 +809,103 @@ void
 EvalRepository::flushLocked()
 {
     for (auto &[key, cache] : caches_) {
-        if (cache.unsaved.empty() && !cache.legacyPending)
+        const bool have_unsaved = std::any_of(
+            cache.shardState.begin(), cache.shardState.end(),
+            [](const ShardState &s) { return !s.unsaved.empty(); });
+        if (!have_unsaved && !cache.needRewrite &&
+            !cache.legacyPending)
             continue;
-        const std::string path = dataDir_ + "/" + key + ".evc";
-        bool ok;
-        std::size_t written;
-        if (!cache.haveBinaryFile) {
-            // No valid new-format file yet: create one atomically
-            // with everything known (first write or migration).
-            std::string bytes = encodeHeader();
-            for (const auto &[ek, r] : cache.records)
-                encodeRecord(bytes, ek, r);
-            written = cache.records.size();
-            ok = atomicWriteFile(path, bytes);
-            if (ok)
-                cache.haveBinaryFile = true;
+
+        bool all_ok = true;
+        if (cache.needRewrite) {
+            // Structural rewrite: every shard is rebuilt atomically
+            // from the in-memory records so the store ends up in the
+            // current layout whatever it looked like on disk.
+            for (std::size_t s = 0; s < shards_; ++s) {
+                std::string bytes = encodeHeader();
+                std::size_t count = 0;
+                for (const auto &[ek, r] : cache.records) {
+                    if (shardOf(ek) == s) {
+                        encodeRecord(bytes, ek, r);
+                        ++count;
+                    }
+                }
+                const std::string path = shardPath(key, s);
+                std::lock_guard<std::mutex> file_lock(
+                    *cache.shardFileMutex[s]);
+                if (count == 0 && s > 0) {
+                    // Secondary shard with no records: leave no
+                    // header-only stub behind.
+                    std::error_code ec;
+                    fs::remove(path, ec);
+                    cache.shardState[s].haveBinaryFile = false;
+                    cache.shardState[s].unsaved.clear();
+                    continue;
+                }
+                if (atomicWriteFile(path, bytes)) {
+                    cache.shardState[s].haveBinaryFile = true;
+                    flushed_ += count;
+                    OBS_ONLY(repoMetrics().flushed.add(count);)
+                    cache.shardState[s].unsaved.clear();
+                } else {
+                    warn("cannot persist cache shard ", path);
+                    all_ok = false;
+                }
+            }
+            if (all_ok) {
+                cache.needRewrite = false;
+                // Drop stray shard files from a previous, larger
+                // shard count; their records were adopted on load.
+                for (std::size_t s = shards_; s < kMaxShards; ++s) {
+                    std::error_code ec;
+                    fs::remove(shardPath(key, s), ec);
+                }
+            }
         } else {
-            // Extend the existing file; fsync makes the appended
-            // records durable, and a torn append only costs the
-            // torn record its checksum.
-            std::string bytes;
-            for (const auto &[ek, r] : cache.unsaved)
-                encodeRecord(bytes, ek, r);
-            written = cache.unsaved.size();
-            ok = bytes.empty() || appendFileSync(path, bytes);
+            // Per-shard incremental flush: shards with a valid file
+            // get a checksummed append; shards without one are
+            // created atomically with everything they own.
+            for (std::size_t s = 0; s < shards_; ++s) {
+                auto &shard = cache.shardState[s];
+                if (shard.unsaved.empty() && shard.haveBinaryFile)
+                    continue;
+                const std::string path = shardPath(key, s);
+                bool ok;
+                std::size_t written;
+                std::lock_guard<std::mutex> file_lock(
+                    *cache.shardFileMutex[s]);
+                if (!shard.haveBinaryFile) {
+                    if (shard.unsaved.empty())
+                        continue;
+                    std::string bytes = encodeHeader();
+                    written = 0;
+                    for (const auto &[ek, r] : cache.records) {
+                        if (shardOf(ek) == s) {
+                            encodeRecord(bytes, ek, r);
+                            ++written;
+                        }
+                    }
+                    ok = atomicWriteFile(path, bytes);
+                    if (ok)
+                        shard.haveBinaryFile = true;
+                } else {
+                    std::string bytes;
+                    for (const auto &[ek, r] : shard.unsaved)
+                        encodeRecord(bytes, ek, r);
+                    written = shard.unsaved.size();
+                    ok = appendFileSync(path, bytes);
+                }
+                if (!ok) {
+                    warn("cannot persist cache shard ", path);
+                    all_ok = false;
+                    continue;
+                }
+                flushed_ += written;
+                OBS_ONLY(repoMetrics().flushed.add(written);)
+                shard.unsaved.clear();
+            }
         }
-        if (!ok) {
-            warn("cannot persist cache for ", key);
-            continue;
-        }
-        flushed_ += written;
-        OBS_ONLY(repoMetrics().flushed.add(written);)
-        unsavedTotal_ -= cache.unsaved.size();
-        cache.unsaved.clear();
-        if (cache.legacyPending) {
+        if (all_ok && cache.legacyPending) {
             std::error_code ec;
             fs::remove(dataDir_ + "/" + key + ".csv", ec);
             cache.legacyPending = false;

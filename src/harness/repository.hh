@@ -13,26 +13,36 @@
  * backend's cache tag is part of every in-memory key and on-disk
  * record.
  *
- * On-disk format (one `<key>.evc` file per PhaseSpec): a 24-byte
- * header (8-byte magic "ADSIMEVC", little-endian u64 version — now
- * 2 — FNV-1a checksum of the first 16 bytes) followed by fixed-size
- * 80-byte records — config code (u64), backend cache tag (u64), the
- * seven EvalRecord doubles bit-exact, and a per-record FNV-1a
- * checksum.  Files are created by atomic rename and extended by
- * append+fsync, so completed records survive a `kill -9` at any
- * point; a torn tail or corrupt record fails its checksum and is
- * simply re-simulated.  Version-1 files (72-byte records without the
- * backend tag) are migrated on load: their records are adopted as
- * cycle-level (tag 0 — the pre-seam backend) and the file is
- * rewritten in the current format on the next flush.  Pre-format CSV
- * caches (`<key>.csv`) are detected by header sniffing, merged in,
- * and rewritten in the new format on the next flush.
+ * On-disk format: each PhaseSpec's store is hash-split across N
+ * shard files (N = ADAPTSIM_EVAL_SHARDS, default 1) — `<key>.evc`
+ * for shard 0 and `<key>.s<i>.evc` for shards 1..N-1, a record's
+ * shard chosen by its EvalKey hash.  Every shard file carries the
+ * same format: a 24-byte header (8-byte magic "ADSIMEVC",
+ * little-endian u64 version — now 2 — FNV-1a checksum of the first
+ * 16 bytes) followed by fixed-size 80-byte records — config code
+ * (u64), backend cache tag (u64), the seven EvalRecord doubles
+ * bit-exact, and a per-record FNV-1a checksum.  Files are created by
+ * atomic rename and extended by append+fsync, so completed records
+ * survive a `kill -9` at any point; a torn tail or corrupt record
+ * fails its checksum and is simply re-simulated.  Incremental
+ * flushing is accounted per shard (every shard buffers up to
+ * ADAPTSIM_FLUSH_EVERY records) and each shard appends under its own
+ * file lock, so concurrent writers to different shards never
+ * serialize on one flush.  A store written under a different shard
+ * count is adopted wholesale and atomically rewritten in the current
+ * layout on the next flush (stray shard files removed).  Version-1
+ * files (72-byte records without the backend tag) are migrated on
+ * load: their records are adopted as cycle-level (tag 0 — the
+ * pre-seam backend) and rewritten in the current format on the next
+ * flush.  Pre-format CSV caches (`<key>.csv`) are detected by header
+ * sniffing, merged in, and rewritten the same way.
  */
 
 #ifndef ADAPTSIM_HARNESS_REPOSITORY_HH
 #define ADAPTSIM_HARNESS_REPOSITORY_HH
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -144,9 +154,12 @@ class EvalRepository
      * @param suite the workload suite (looked up by name).
      * @param data_dir on-disk cache directory (created if absent).
      * @param threads evaluation parallelism.
+     * @param shards on-disk store shard count; 0 selects the
+     *   ADAPTSIM_EVAL_SHARDS default (clamped to 1..64).
      */
     EvalRepository(std::vector<workload::Workload> suite,
-                   std::string data_dir, unsigned threads);
+                   std::string data_dir, unsigned threads,
+                   std::size_t shards = 0);
 
     ~EvalRepository();
 
@@ -181,11 +194,28 @@ class EvalRepository
     ProfileRecord profile(const PhaseSpec &spec,
                           const sim::PerfModel *backend = nullptr);
 
-    /** Persist any unsaved results now (also runs every
-     *  flushEvery() new records; see ADAPTSIM_FLUSH_EVERY). */
+    /** Persist any unsaved results now (incremental flushing also
+     *  runs whenever any single shard accumulates flushEvery()
+     *  unsaved records; see ADAPTSIM_FLUSH_EVERY). */
     void flush();
 
     const workload::Workload &workload(const std::string &name) const;
+
+    /** Workload by name, or nullptr when the suite lacks it (the
+     *  evaluation service validates requests with this instead of
+     *  the fatal workload() lookup). */
+    const workload::Workload *
+    findWorkload(const std::string &name) const;
+
+    /**
+     * Whether evaluate(spec, config, backend) would be answered from
+     * the cache right now (probes the backend's cacheLookupTags()
+     * without simulating; loads the phase's disk cache if needed).
+     * Used by the evaluation service to tag replies hit/miss.
+     */
+    bool peekCached(const PhaseSpec &spec,
+                    const space::Configuration &config,
+                    const sim::PerfModel *backend = nullptr);
 
     std::uint64_t simulationsRun() const { return simulated_; }
     std::uint64_t cacheHits() const { return hits_; }
@@ -196,12 +226,16 @@ class EvalRepository
     /** One-line human-readable stats() rendering for progress. */
     std::string statsSummary() const;
 
-    /** Records buffered between flushes (default from env). */
+    /** Records buffered per shard between incremental flushes
+     *  (default from env). */
     std::size_t flushEvery() const { return flushEvery_; }
     void setFlushEvery(std::size_t n);
 
     /** The interval-trace cache shared by all worker threads. */
     workload::TraceCache &traceCache() { return traceCache_; }
+
+    /** On-disk store shard count (fixed at construction). */
+    std::size_t shards() const { return shards_; }
 
     /** All cached records of one phase produced under one backend
      *  tag, sorted by configuration code (surrogate training data
@@ -210,13 +244,27 @@ class EvalRepository
     records(const PhaseSpec &spec, std::uint64_t backendTag);
 
   private:
+    /** Per-shard persistence state of one phase's store. */
+    struct ShardState
+    {
+        /** Records awaiting persistence to this shard's file. */
+        std::vector<std::pair<EvalKey, EvalRecord>> unsaved;
+        /** A valid current-format shard file exists (append mode). */
+        bool haveBinaryFile = false;
+    };
+
     struct PhaseCache
     {
         std::unordered_map<EvalKey, EvalRecord, EvalKeyHash> records;
-        std::vector<std::pair<EvalKey, EvalRecord>> unsaved;
+        std::vector<ShardState> shardState;
+        /** Per-shard file-append locks: concurrent writers flushing
+         *  different shards never serialize on one another. */
+        std::vector<std::unique_ptr<std::mutex>> shardFileMutex;
         bool loaded = false;
-        /** A valid current-format file exists on disk (append mode). */
-        bool haveBinaryFile = false;
+        /** The on-disk layout does not match the current shard
+         *  count/format (reshard or migration); the next flush
+         *  atomically rewrites every shard file. */
+        bool needRewrite = false;
         /** Legacy CSV to delete once its records are re-persisted. */
         bool legacyPending = false;
     };
@@ -233,20 +281,25 @@ class EvalRepository
     PhaseCache &cacheFor(const PhaseSpec &spec);
     void loadCache(const PhaseSpec &spec, PhaseCache &cache);
     bool loadBinaryCache(const std::string &path,
-                         const std::string &bytes,
-                         PhaseCache &cache);
+                         const std::string &bytes, PhaseCache &cache,
+                         std::size_t shard_index, bool &misplaced);
     bool loadV1Cache(const std::string &path,
                      const std::string &bytes, PhaseCache &cache);
     void adoptRecords(const PhaseCache &from, PhaseCache &cache);
     void loadLegacyCsv(const std::string &path,
                        const std::string &bytes, PhaseCache &cache);
     void flushLocked();
-    std::string cachePath(const PhaseSpec &spec) const;
+    /** Shard index of @p key under the current shard count. */
+    std::size_t shardOf(const EvalKey &key) const;
+    /** Path of shard @p i of the phase keyed @p spec_key. */
+    std::string shardPath(const std::string &spec_key,
+                          std::size_t i) const;
     std::string legacyCachePath(const PhaseSpec &spec) const;
     std::string profilePath(const PhaseSpec &spec) const;
 
     std::vector<workload::Workload> suite_;
     std::string dataDir_;
+    std::size_t shards_;
     ThreadPool pool_;
 
     /** One trace per (phase × {warm, detail}) regardless of how
@@ -264,7 +317,6 @@ class EvalRepository
      *  profile() nags once per backend rather than per call. */
     std::set<std::string> profileWarned_;
     std::size_t flushEvery_;
-    std::size_t unsavedTotal_ = 0;
     std::map<std::string, std::uint64_t> simulatedByBackend_;
     std::uint64_t simulated_ = 0;
     std::uint64_t hits_ = 0;

@@ -1,0 +1,176 @@
+#include "svc/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace adaptsim::svc
+{
+
+namespace
+{
+
+bool
+sendAll(int fd, std::string_view bytes)
+{
+    const char *p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+EvalResult
+brokenResult(const char *why)
+{
+    EvalResult r;
+    r.error = ErrorCode::BadFrame;
+    r.errorMessage = why;
+    return r;
+}
+
+} // namespace
+
+std::unique_ptr<EvalClient>
+EvalClient::connect(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path)) {
+        warn("svc: socket path \"", socket_path,
+             "\" is empty or too long for a Unix socket");
+        return nullptr;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("svc: cannot create socket: ", std::strerror(errno));
+        return nullptr;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        warn("svc: cannot connect to ", socket_path, ": ",
+             std::strerror(errno));
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<EvalClient>(new EvalClient(fd));
+}
+
+EvalClient::EvalClient(int fd) : fd_(fd) {}
+
+EvalClient::~EvalClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+EvalResult
+EvalClient::evaluate(const harness::PhaseSpec &spec,
+                     const space::Configuration &config,
+                     const std::string &backend)
+{
+    const std::uint64_t id = submit(spec, config, backend);
+    if (id == 0)
+        return brokenResult("connection broken");
+    return wait(id);
+}
+
+std::uint64_t
+EvalClient::submit(const harness::PhaseSpec &spec,
+                   const space::Configuration &config,
+                   const std::string &backend)
+{
+    if (broken_)
+        return 0;
+    EvalRequestMsg req;
+    req.id = nextId_++;
+    req.spec = spec;
+    req.configCode = config.encode();
+    req.backend = backend;
+    if (!sendAll(fd_, encodeFrame(req))) {
+        broken_ = true;
+        return 0;
+    }
+    return req.id;
+}
+
+EvalResult
+EvalClient::wait(std::uint64_t id)
+{
+    for (;;) {
+        const auto it = parked_.find(id);
+        if (it != parked_.end()) {
+            EvalResult r = std::move(it->second);
+            parked_.erase(it);
+            return r;
+        }
+        if (broken_ || !pump(id))
+            return brokenResult("connection broken");
+    }
+}
+
+bool
+EvalClient::pump(std::uint64_t want_id)
+{
+    // Drain buffered frames first; read more only when needed.
+    for (;;) {
+        std::string payload;
+        const auto res = frames_.next(payload);
+        if (res == FrameBuffer::Result::Oversized) {
+            broken_ = true;
+            return false;
+        }
+        if (res == FrameBuffer::Result::Frame) {
+            Message msg;
+            if (decodePayload(payload, msg) != ErrorCode::None)
+                continue; // corrupt frame; framing is still intact
+            if (msg.type == MsgType::EvalReply) {
+                EvalResult r;
+                r.ok = true;
+                r.record = msg.reply.record;
+                r.producer = msg.reply.producer;
+                r.cacheHit = msg.reply.cacheHit;
+                parked_[msg.reply.id] = std::move(r);
+            } else if (msg.type == MsgType::Error) {
+                EvalResult r;
+                r.error = msg.error.code;
+                r.errorMessage = msg.error.message;
+                // id 0 = not attributable to one request; attach it
+                // to the one being waited for so the caller sees it.
+                parked_[msg.error.id ? msg.error.id : want_id] =
+                    std::move(r);
+            }
+            if (parked_.count(want_id))
+                return true;
+            continue;
+        }
+        char buf[64 * 1024];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            frames_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        broken_ = true;
+        return false;
+    }
+}
+
+} // namespace adaptsim::svc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Client side of the adaptsimd evaluation service.
+ *
+ * EvalClient speaks the svc/protocol over a Unix domain socket.
+ * Two usage shapes:
+ *
+ *   sync        Result r = client.evaluate(spec, config);
+ *   pipelined   ids = client.submit(...) × N;  client.wait(id) × N
+ *
+ * Pipelining keeps the daemon's batch coalescing fed: all submitted
+ * requests travel before the first reply is read, so the server sees
+ * them as one group and evaluates them as one parallel batch.
+ * Replies may arrive out of order; wait() parks early arrivals by id.
+ *
+ * An EvalClient is not thread-safe — give each thread its own
+ * connection (connections are cheap; the server polls them all).
+ */
+
+#ifndef ADAPTSIM_SVC_CLIENT_HH
+#define ADAPTSIM_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "harness/repository.hh"
+#include "space/configuration.hh"
+#include "svc/protocol.hh"
+
+namespace adaptsim::svc
+{
+
+/** Outcome of one service evaluation. */
+struct EvalResult
+{
+    bool ok = false; ///< reply received (else `error` says why not)
+    harness::EvalRecord record;
+    std::string producer;  ///< backend that served the request
+    bool cacheHit = false; ///< answered from the store
+    ErrorCode error = ErrorCode::None;
+    std::string errorMessage;
+};
+
+/** One connection to an adaptsimd daemon. */
+class EvalClient
+{
+  public:
+    /** Connect to the daemon at @p socket_path; nullptr (with a
+     *  warning) when the connection cannot be established. */
+    static std::unique_ptr<EvalClient>
+    connect(const std::string &socket_path);
+
+    ~EvalClient();
+
+    EvalClient(const EvalClient &) = delete;
+    EvalClient &operator=(const EvalClient &) = delete;
+
+    /** Synchronous round trip (submit + wait). */
+    EvalResult evaluate(const harness::PhaseSpec &spec,
+                        const space::Configuration &config,
+                        const std::string &backend = "");
+
+    /**
+     * Send one request without waiting; returns its id for wait().
+     * Returns 0 when the connection is broken (ids are never 0).
+     */
+    std::uint64_t submit(const harness::PhaseSpec &spec,
+                         const space::Configuration &config,
+                         const std::string &backend = "");
+
+    /** Block until the reply (or error) for @p id arrives.  Replies
+     *  for other ids encountered meanwhile are parked for their own
+     *  wait() calls. */
+    EvalResult wait(std::uint64_t id);
+
+    /** The connection failed at some point; results are errors. */
+    bool broken() const { return broken_; }
+
+  private:
+    explicit EvalClient(int fd);
+
+    /** Read until at least one frame for @p want_id is resolved. */
+    bool pump(std::uint64_t want_id);
+
+    int fd_ = -1;
+    bool broken_ = false;
+    std::uint64_t nextId_ = 1;
+    FrameBuffer frames_;
+    std::unordered_map<std::uint64_t, EvalResult> parked_;
+};
+
+} // namespace adaptsim::svc
+
+#endif // ADAPTSIM_SVC_CLIENT_HH

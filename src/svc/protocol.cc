@@ -1,0 +1,244 @@
+#include "svc/protocol.hh"
+
+#include <cstring>
+
+#include "common/serial.hh"
+
+namespace adaptsim::svc
+{
+
+namespace
+{
+
+/** Start a payload: version + type bytes. */
+std::string
+payloadHead(MsgType type)
+{
+    std::string out;
+    out.push_back(static_cast<char>(kProtocolVersion));
+    out.push_back(static_cast<char>(type));
+    return out;
+}
+
+/** Seal a payload (append checksum) and prepend the length prefix. */
+std::string
+sealFrame(std::string payload)
+{
+    putU64(payload, fnv1a64(payload.data(), payload.size()));
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame += payload;
+    return frame;
+}
+
+/** Bounds-checked u64 read, advancing @p off. */
+bool
+takeU64(std::string_view in, std::size_t &off, std::uint64_t &out)
+{
+    if (off + 8 > in.size())
+        return false;
+    out = getU64(in.data() + off);
+    off += 8;
+    return true;
+}
+
+/** Bounds-checked double read, advancing @p off. */
+bool
+takeDouble(std::string_view in, std::size_t &off, double &out)
+{
+    if (off + 8 > in.size())
+        return false;
+    out = getDouble(in.data() + off);
+    off += 8;
+    return true;
+}
+
+bool
+decodeRequestBody(std::string_view body, EvalRequestMsg &out)
+{
+    std::size_t off = 0;
+    return takeU64(body, off, out.id) &&
+           getString(body, off, out.spec.workload) &&
+           takeU64(body, off, out.spec.programLength) &&
+           takeU64(body, off, out.spec.startInst) &&
+           takeU64(body, off, out.spec.warmLength) &&
+           takeU64(body, off, out.spec.detailLength) &&
+           takeU64(body, off, out.configCode) &&
+           getString(body, off, out.backend) && off == body.size();
+}
+
+bool
+decodeReplyBody(std::string_view body, EvalReplyMsg &out)
+{
+    std::size_t off = 0;
+    if (!takeU64(body, off, out.id))
+        return false;
+    harness::EvalRecord &r = out.record;
+    if (!(takeDouble(body, off, r.cycles) &&
+          takeDouble(body, off, r.instructions) &&
+          takeDouble(body, off, r.seconds) &&
+          takeDouble(body, off, r.joules) &&
+          takeDouble(body, off, r.ipc) &&
+          takeDouble(body, off, r.watts) &&
+          takeDouble(body, off, r.efficiency)))
+        return false;
+    if (!getString(body, off, out.producer))
+        return false;
+    if (off + 1 != body.size())
+        return false;
+    out.cacheHit = body[off] != 0;
+    return true;
+}
+
+bool
+decodeErrorBody(std::string_view body, ErrorMsg &out)
+{
+    std::size_t off = 0;
+    if (!takeU64(body, off, out.id))
+        return false;
+    if (off + 1 > body.size())
+        return false;
+    out.code = static_cast<ErrorCode>(
+        static_cast<unsigned char>(body[off]));
+    ++off;
+    return getString(body, off, out.message) && off == body.size();
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::None:
+        return "none";
+    case ErrorCode::BadFrame:
+        return "bad-frame";
+    case ErrorCode::BadVersion:
+        return "bad-version";
+    case ErrorCode::BadType:
+        return "bad-type";
+    case ErrorCode::UnknownBackend:
+        return "unknown-backend";
+    case ErrorCode::UnknownWorkload:
+        return "unknown-workload";
+    case ErrorCode::Overloaded:
+        return "overloaded";
+    case ErrorCode::TooManyInFlight:
+        return "too-many-in-flight";
+    case ErrorCode::Oversized:
+        return "oversized";
+    }
+    return "unknown";
+}
+
+std::string
+encodeFrame(const EvalRequestMsg &msg)
+{
+    std::string p = payloadHead(MsgType::EvalRequest);
+    putU64(p, msg.id);
+    putString(p, msg.spec.workload);
+    putU64(p, msg.spec.programLength);
+    putU64(p, msg.spec.startInst);
+    putU64(p, msg.spec.warmLength);
+    putU64(p, msg.spec.detailLength);
+    putU64(p, msg.configCode);
+    putString(p, msg.backend);
+    return sealFrame(std::move(p));
+}
+
+std::string
+encodeFrame(const EvalReplyMsg &msg)
+{
+    std::string p = payloadHead(MsgType::EvalReply);
+    putU64(p, msg.id);
+    putDouble(p, msg.record.cycles);
+    putDouble(p, msg.record.instructions);
+    putDouble(p, msg.record.seconds);
+    putDouble(p, msg.record.joules);
+    putDouble(p, msg.record.ipc);
+    putDouble(p, msg.record.watts);
+    putDouble(p, msg.record.efficiency);
+    putString(p, msg.producer);
+    p.push_back(msg.cacheHit ? 1 : 0);
+    return sealFrame(std::move(p));
+}
+
+std::string
+encodeFrame(const ErrorMsg &msg)
+{
+    std::string p = payloadHead(MsgType::Error);
+    putU64(p, msg.id);
+    p.push_back(static_cast<char>(msg.code));
+    putString(p, msg.message);
+    return sealFrame(std::move(p));
+}
+
+ErrorCode
+decodePayload(std::string_view payload, Message &out)
+{
+    // Smallest legal payload: version + type + empty body + checksum.
+    if (payload.size() < 2 + 8)
+        return ErrorCode::BadFrame;
+    const std::size_t body_end = payload.size() - 8;
+    if (getU64(payload.data() + body_end) !=
+        fnv1a64(payload.data(), body_end))
+        return ErrorCode::BadFrame;
+    const auto version =
+        static_cast<std::uint8_t>(payload[0]);
+    if (version != kProtocolVersion)
+        return ErrorCode::BadVersion;
+    const std::string_view body = payload.substr(2, body_end - 2);
+    switch (static_cast<MsgType>(payload[1])) {
+    case MsgType::EvalRequest:
+        out.type = MsgType::EvalRequest;
+        return decodeRequestBody(body, out.request)
+                   ? ErrorCode::None
+                   : ErrorCode::BadFrame;
+    case MsgType::EvalReply:
+        out.type = MsgType::EvalReply;
+        return decodeReplyBody(body, out.reply)
+                   ? ErrorCode::None
+                   : ErrorCode::BadFrame;
+    case MsgType::Error:
+        out.type = MsgType::Error;
+        return decodeErrorBody(body, out.error)
+                   ? ErrorCode::None
+                   : ErrorCode::BadFrame;
+    }
+    return ErrorCode::BadType;
+}
+
+void
+FrameBuffer::append(const char *data, std::size_t size)
+{
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow the buffer without bound.
+    if (off_ > 0 && off_ >= buf_.size() / 2) {
+        buf_.erase(0, off_);
+        off_ = 0;
+    }
+    buf_.append(data, size);
+}
+
+FrameBuffer::Result
+FrameBuffer::next(std::string &out)
+{
+    if (poisoned_)
+        return Result::Oversized;
+    if (buf_.size() - off_ < 4)
+        return Result::NeedMore;
+    const std::uint32_t len = getU32(buf_.data() + off_);
+    if (len > kMaxFrameBytes) {
+        poisoned_ = true;
+        return Result::Oversized;
+    }
+    if (buf_.size() - off_ < 4 + std::size_t{len})
+        return Result::NeedMore;
+    out.assign(buf_.data() + off_ + 4, len);
+    off_ += 4 + std::size_t{len};
+    return Result::Frame;
+}
+
+} // namespace adaptsim::svc

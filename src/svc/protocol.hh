@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Wire protocol of the adaptsimd evaluation service.
+ *
+ * Clients and server exchange length-prefixed frames over a Unix
+ * domain socket:
+ *
+ *     frame   := u32 payload-length (little-endian) | payload
+ *     payload := u8 version (=1) | u8 type | body | u64 checksum
+ *
+ * The checksum is the FNV-1a hash of everything before it (version,
+ * type and body), so a flipped bit anywhere in the payload is caught
+ * before the body is interpreted.  Integers are little-endian;
+ * strings carry a u32 length prefix (common/serial).  Frames above
+ * kMaxFrameBytes are rejected without buffering, so a hostile or
+ * corrupt length prefix cannot make the server allocate gigabytes.
+ *
+ * Message bodies:
+ *
+ *   EvalRequest  u64 id | str workload | u64 programLength |
+ *                u64 startInst | u64 warmLength | u64 detailLength |
+ *                u64 configCode | str backend ("" = server default)
+ *   EvalReply    u64 id | 7 doubles (EvalRecord, bit-exact) |
+ *                str producer | u8 cacheHit
+ *   Error        u64 id (0 = not attributable) | u8 code | str text
+ *
+ * Request ids are chosen by the client and echoed verbatim, so a
+ * pipelined client can match out-of-order replies.  Everything here
+ * is pure byte manipulation — no sockets — so the protocol tests can
+ * fuzz it directly.
+ */
+
+#ifndef ADAPTSIM_SVC_PROTOCOL_HH
+#define ADAPTSIM_SVC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "harness/repository.hh"
+
+namespace adaptsim::svc
+{
+
+/** Protocol revision carried in every payload's first byte. */
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Hard ceiling on one frame's payload size (1 MiB). */
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Payload type byte. */
+enum class MsgType : std::uint8_t
+{
+    EvalRequest = 1,
+    EvalReply = 2,
+    Error = 3,
+};
+
+/** Typed failure reasons carried in Error replies (and returned by
+ *  the decoder for malformed inputs). */
+enum class ErrorCode : std::uint8_t
+{
+    None = 0,
+    BadFrame = 1,        ///< checksum/body malformed or truncated
+    BadVersion = 2,      ///< unknown protocol version byte
+    BadType = 3,         ///< unknown payload type byte
+    UnknownBackend = 4,  ///< backend name not registered
+    UnknownWorkload = 5, ///< workload not in the server's suite
+    Overloaded = 6,      ///< admission control: queue full
+    TooManyInFlight = 7, ///< admission control: per-client cap hit
+    Oversized = 8,       ///< frame length above kMaxFrameBytes
+};
+
+/** Human-readable ErrorCode name (stable, for logs and JSON). */
+const char *errorCodeName(ErrorCode code);
+
+/** One evaluation query. */
+struct EvalRequestMsg
+{
+    std::uint64_t id = 0;         ///< echoed in the reply
+    harness::PhaseSpec spec;      ///< workload + phase window
+    std::uint64_t configCode = 0; ///< space::Configuration::encode()
+    std::string backend;          ///< registry name; "" = default
+};
+
+/** One evaluation answer. */
+struct EvalReplyMsg
+{
+    std::uint64_t id = 0;
+    harness::EvalRecord record;
+    std::string producer;  ///< backend that produced the record
+    bool cacheHit = false; ///< served from the store, no simulation
+};
+
+/** One typed failure. */
+struct ErrorMsg
+{
+    std::uint64_t id = 0; ///< 0 when no request is attributable
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+};
+
+/** Any decoded payload; `type` selects the live member. */
+struct Message
+{
+    MsgType type = MsgType::Error;
+    EvalRequestMsg request;
+    EvalReplyMsg reply;
+    ErrorMsg error;
+};
+
+/** Encode a complete frame (length prefix included). */
+std::string encodeFrame(const EvalRequestMsg &msg);
+std::string encodeFrame(const EvalReplyMsg &msg);
+std::string encodeFrame(const ErrorMsg &msg);
+
+/**
+ * Decode one frame payload (the bytes after the length prefix).
+ * Returns ErrorCode::None and fills @p out on success; otherwise a
+ * typed reason (BadFrame, BadVersion, BadType).  Never throws and
+ * never reads out of bounds, whatever the input.
+ */
+ErrorCode decodePayload(std::string_view payload, Message &out);
+
+/**
+ * Incremental frame assembler for one stream.  Feed raw bytes with
+ * append(); next() then yields complete payloads one at a time.  A
+ * length prefix above kMaxFrameBytes poisons the stream (the byte
+ * boundary is unrecoverable), reported once as Oversized.
+ */
+class FrameBuffer
+{
+  public:
+    enum class Result
+    {
+        Frame,     ///< @p out holds one complete payload
+        NeedMore,  ///< no complete frame buffered yet
+        Oversized, ///< poisoned by an over-limit length prefix
+    };
+
+    void append(const char *data, std::size_t size);
+    Result next(std::string &out);
+
+    /** Bytes buffered but not yet consumed (tests/telemetry). */
+    std::size_t pending() const { return buf_.size() - off_; }
+
+  private:
+    std::string buf_;
+    std::size_t off_ = 0;
+    bool poisoned_ = false;
+};
+
+} // namespace adaptsim::svc
+
+#endif // ADAPTSIM_SVC_PROTOCOL_HH

@@ -1,0 +1,561 @@
+#include "svc/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+#include "sim/perf_model.hh"
+#include "space/configuration.hh"
+
+namespace adaptsim::svc
+{
+
+namespace
+{
+
+#if ADAPTSIM_OBS_ENABLED
+
+/** Process-wide service telemetry (see server.hh file comment). */
+struct SvcMetrics
+{
+    obs::Counter &requests =
+        obs::Registry::global().counter("svc/requests");
+    obs::Counter &replies =
+        obs::Registry::global().counter("svc/replies");
+    obs::Counter &errors =
+        obs::Registry::global().counter("svc/errors");
+    obs::Counter &shed = obs::Registry::global().counter("svc/shed");
+    obs::Counter &hit = obs::Registry::global().counter("svc/hit");
+    obs::Counter &miss = obs::Registry::global().counter("svc/miss");
+    obs::Counter &connects =
+        obs::Registry::global().counter("svc/connects");
+    obs::Counter &disconnects =
+        obs::Registry::global().counter("svc/disconnects");
+    obs::Gauge &clients =
+        obs::Registry::global().gauge("svc/clients");
+    obs::Gauge &queueDepth =
+        obs::Registry::global().gauge("svc/queue_depth");
+    obs::Histogram &batchSize = obs::Registry::global().histogram(
+        "svc/batch.size",
+        obs::Registry::exponentialBounds(1.0, 2.0, 12));
+};
+
+SvcMetrics &
+svcMetrics()
+{
+    static SvcMetrics metrics;
+    return metrics;
+}
+
+/** Per-backend dispatch-latency histogram (runtime name). */
+obs::Histogram &
+backendLatency(const std::string &backend)
+{
+    return obs::Registry::global().histogram(
+        "svc/eval/" + backend + ".seconds", obs::latencyBounds());
+}
+
+#endif // ADAPTSIM_OBS_ENABLED
+
+/** Write all of @p bytes to @p fd (MSG_NOSIGNAL: a vanished peer
+ *  yields EPIPE, not a process-killing signal). */
+bool
+sendAll(int fd, std::string_view bytes)
+{
+    const char *p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+/** See server.hh: shared between the I/O and dispatch threads. */
+struct EvalServer::Client
+{
+    int fd = -1;
+    FrameBuffer frames;
+
+    /** Guards send syscalls plus sendClosed/fdClosed, so a send
+     *  never races the fd's close. */
+    std::mutex sendMutex;
+    bool sendClosed = false; ///< a send failed; skip further ones
+    bool fdClosed = false;   ///< the fd has been ::close()d
+
+    // Guarded by the server's mutex_.
+    std::size_t inFlight = 0; ///< accepted, not yet replied
+    bool dead = false;        ///< out of the poll set; reap when idle
+};
+
+EvalServer::EvalServer(harness::EvalRepository &repo,
+                       ServerOptions options)
+    : repo_(repo), options_(std::move(options))
+{
+}
+
+EvalServer::~EvalServer()
+{
+    stop();
+}
+
+bool
+EvalServer::start()
+{
+    if (started_)
+        return true;
+    const std::string &path = options_.socketPath;
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        warn("svc: socket path \"", path,
+             "\" is empty or too long for a Unix socket");
+        return false;
+    }
+    if (::pipe(stopPipe_) != 0) {
+        warn("svc: cannot create stop pipe: ",
+             std::strerror(errno));
+        return false;
+    }
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        warn("svc: cannot create socket: ", std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        warn("svc: cannot bind/listen on ", path, ": ",
+             std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    started_ = true;
+    ioThread_ = std::thread(&EvalServer::ioLoop, this);
+    dispatchThread_ = std::thread(&EvalServer::dispatchLoop, this);
+    if (!options_.quiet)
+        inform("svc: serving on ", path, " (max queue ",
+               options_.maxQueue == 0
+                   ? std::string("unlimited")
+                   : std::to_string(options_.maxQueue),
+               ", per-client cap ", options_.clientCap,
+               ", store shards ", repo_.shards(), ")");
+    return true;
+}
+
+void
+EvalServer::requestStop()
+{
+    if (stopPipe_[1] >= 0) {
+        const char byte = 1;
+        // write() is async-signal-safe; the result only tells us the
+        // pipe is already full of stop requests, which is fine.
+        (void)!::write(stopPipe_[1], &byte, 1);
+    }
+}
+
+void
+EvalServer::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopCv_.wait(lock, [&] { return stopping_; });
+}
+
+void
+EvalServer::stop()
+{
+    if (!started_ || joined_) {
+        if (started_)
+            return;
+        // Never started: only the stop pipe may exist.
+        for (int &fd : stopPipe_) {
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+        return;
+    }
+    requestStop();
+    if (ioThread_.joinable())
+        ioThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    stopCv_.notify_all();
+    if (dispatchThread_.joinable())
+        dispatchThread_.join();
+
+    // Both threads are gone; nothing else touches the fds now.
+    for (auto &[fd, client] : clients_) {
+        std::lock_guard<std::mutex> send_lock(client->sendMutex);
+        if (!client->fdClosed) {
+            ::close(client->fd);
+            client->fdClosed = true;
+        }
+    }
+    clients_.clear();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(options_.socketPath.c_str());
+    for (int &fd : stopPipe_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    joined_ = true;
+}
+
+void
+EvalServer::ioLoop()
+{
+    std::vector<pollfd> fds;
+    std::vector<int> ready;
+    for (;;) {
+        fds.clear();
+        fds.push_back({stopPipe_[0], POLLIN, 0});
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const auto &[fd, client] : clients_)
+            fds.push_back({fd, POLLIN, 0});
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("svc: poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (fds[0].revents != 0)
+            break; // stop requested
+        if (fds[1].revents & POLLIN)
+            acceptClient();
+        ready.clear();
+        for (std::size_t i = 2; i < fds.size(); ++i) {
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                ready.push_back(fds[i].fd);
+        }
+        for (const int fd : ready) {
+            const auto it = clients_.find(fd);
+            if (it == clients_.end())
+                continue;
+            const std::shared_ptr<Client> client = it->second;
+            if (!readClient(client)) {
+                dropClient(client);
+                continue;
+            }
+            drainFrames(client);
+            bool poisoned;
+            {
+                std::lock_guard<std::mutex> send_lock(
+                    client->sendMutex);
+                poisoned = client->sendClosed;
+            }
+            if (poisoned)
+                dropClient(client);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    stopCv_.notify_all();
+}
+
+void
+EvalServer::acceptClient()
+{
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno != EINTR && errno != EAGAIN &&
+            errno != EWOULDBLOCK)
+            warn("svc: accept failed: ", std::strerror(errno));
+        return;
+    }
+    auto client = std::make_shared<Client>();
+    client->fd = fd;
+    clients_.emplace(fd, std::move(client));
+    OBS_ONLY(svcMetrics().connects.add(1);
+             svcMetrics().clients.set(double(clients_.size()));)
+}
+
+bool
+EvalServer::readClient(const std::shared_ptr<Client> &client)
+{
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(client->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+        client->frames.append(buf, static_cast<std::size_t>(n));
+        return true;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK))
+        return true;
+    return false; // orderly close or hard error
+}
+
+void
+EvalServer::drainFrames(const std::shared_ptr<Client> &client)
+{
+    // Admission decisions for every frame buffered right now happen
+    // under one lock hold, so a pipelined burst sees a consistent
+    // queue (caps shed deterministically).  The error replies are
+    // sent after the lock is released.
+    struct Shed
+    {
+        std::uint64_t id;
+        ErrorCode code;
+        std::string message;
+    };
+    std::vector<Shed> errors;
+    bool enqueued = false;
+    bool poison = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::string payload;
+        for (;;) {
+            const auto res = client->frames.next(payload);
+            if (res == FrameBuffer::Result::NeedMore)
+                break;
+            if (res == FrameBuffer::Result::Oversized) {
+                errors.push_back({0, ErrorCode::Oversized,
+                                  "frame exceeds limit"});
+                poison = true;
+                break;
+            }
+            Message msg;
+            const ErrorCode dec = decodePayload(payload, msg);
+            if (dec != ErrorCode::None) {
+                errors.push_back(
+                    {0, dec, "malformed frame payload"});
+                continue;
+            }
+            if (msg.type != MsgType::EvalRequest) {
+                errors.push_back({0, ErrorCode::BadType,
+                                  "expected an EvalRequest"});
+                continue;
+            }
+            EvalRequestMsg &req = msg.request;
+            OBS_ONLY(svcMetrics().requests.add(1);)
+            const sim::PerfModel *backend = nullptr;
+            if (!req.backend.empty()) {
+                backend = sim::findPerfModel(req.backend);
+                if (!backend) {
+                    errors.push_back({req.id,
+                                      ErrorCode::UnknownBackend,
+                                      "unknown backend \"" +
+                                          req.backend + "\""});
+                    continue;
+                }
+            }
+            if (!repo_.findWorkload(req.spec.workload)) {
+                errors.push_back({req.id,
+                                  ErrorCode::UnknownWorkload,
+                                  "unknown workload \"" +
+                                      req.spec.workload + "\""});
+                continue;
+            }
+            if (space::Configuration::decode(req.configCode)
+                    .encode() != req.configCode) {
+                errors.push_back({req.id, ErrorCode::BadFrame,
+                                  "config code out of range"});
+                continue;
+            }
+            if (client->inFlight >= options_.clientCap) {
+                errors.push_back({req.id,
+                                  ErrorCode::TooManyInFlight,
+                                  "per-client in-flight cap hit"});
+                OBS_ONLY(svcMetrics().shed.add(1);)
+                continue;
+            }
+            if (options_.maxQueue > 0 &&
+                queueDepth_ >= options_.maxQueue) {
+                errors.push_back({req.id, ErrorCode::Overloaded,
+                                  "request queue full"});
+                OBS_ONLY(svcMetrics().shed.add(1);)
+                continue;
+            }
+            const std::string group =
+                req.spec.key() + '\0' + req.backend;
+            Batch &batch = queue_[group];
+            if (batch.reqs.empty()) {
+                batch.spec = req.spec;
+                batch.backend = backend;
+                batch.backendName = req.backend;
+            }
+            batch.reqs.push_back(
+                Pending{client, req.id, req.configCode});
+            ++client->inFlight;
+            ++queueDepth_;
+            enqueued = true;
+        }
+        OBS_ONLY(svcMetrics().queueDepth.set(double(queueDepth_));)
+    }
+    for (const Shed &e : errors)
+        sendError(client, e.id, e.code, e.message);
+    if (poison) {
+        // The stream's frame boundary is unrecoverable; make the
+        // I/O loop drop the connection.
+        std::lock_guard<std::mutex> send_lock(client->sendMutex);
+        client->sendClosed = true;
+    }
+    if (enqueued)
+        queueCv_.notify_one();
+}
+
+void
+EvalServer::dropClient(const std::shared_ptr<Client> &client)
+{
+    clients_.erase(client->fd);
+    OBS_ONLY(svcMetrics().disconnects.add(1);
+             svcMetrics().clients.set(double(clients_.size()));)
+    bool close_now;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        client->dead = true;
+        close_now = client->inFlight == 0;
+    }
+    if (close_now) {
+        std::lock_guard<std::mutex> send_lock(client->sendMutex);
+        if (!client->fdClosed) {
+            ::close(client->fd);
+            client->fdClosed = true;
+        }
+    }
+    // Otherwise the dispatch thread closes the fd once the last
+    // pending reply has been attempted (see processBatch).
+}
+
+void
+EvalServer::dispatchLoop()
+{
+    for (;;) {
+        Batch batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock,
+                          [&] { return stopping_ || !queue_.empty(); });
+            if (stopping_)
+                return;
+            auto it = queue_.begin();
+            batch = std::move(it->second);
+            queue_.erase(it);
+            queueDepth_ -= batch.reqs.size();
+            OBS_ONLY(
+                svcMetrics().queueDepth.set(double(queueDepth_));)
+        }
+        processBatch(batch);
+    }
+}
+
+void
+EvalServer::processBatch(Batch &batch)
+{
+    const sim::PerfModel &model =
+        batch.backend ? *batch.backend : sim::defaultPerfModel();
+    OBS_ONLY(svcMetrics().batchSize.record(
+        double(batch.reqs.size()));)
+
+    std::vector<space::Configuration> configs;
+    configs.reserve(batch.reqs.size());
+    std::vector<char> hit(batch.reqs.size(), 0);
+    for (std::size_t i = 0; i < batch.reqs.size(); ++i) {
+        configs.push_back(
+            space::Configuration::decode(batch.reqs[i].code));
+        hit[i] = repo_.peekCached(batch.spec, configs[i], &model)
+                     ? 1
+                     : 0;
+    }
+
+    std::vector<harness::EvalRecord> records;
+    {
+#if ADAPTSIM_OBS_ENABLED
+        obs::ScopedSpan span("svc/dispatch",
+                             backendLatency(model.name()));
+#endif
+        records = repo_.evaluateBatch(batch.spec, configs,
+                                      &model);
+    }
+
+    for (std::size_t i = 0; i < batch.reqs.size(); ++i) {
+        const Pending &p = batch.reqs[i];
+        EvalReplyMsg reply;
+        reply.id = p.id;
+        reply.record = records[i];
+        reply.producer = model.name();
+        reply.cacheHit = hit[i] != 0;
+        // Decrement BEFORE sending: the reply releases the client
+        // to submit its next pipelined request, and a client
+        // pipelining at exactly the cap must not race a stale
+        // in-flight count into a spurious TooManyInFlight shed.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --p.client->inFlight;
+        }
+        sendToClient(p.client, encodeFrame(reply));
+        OBS_ONLY(svcMetrics().replies.add(1);
+                 (reply.cacheHit ? svcMetrics().hit
+                                 : svcMetrics().miss)
+                     .add(1);)
+        bool close_now;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            close_now = p.client->dead && p.client->inFlight == 0;
+        }
+        if (close_now) {
+            std::lock_guard<std::mutex> send_lock(
+                p.client->sendMutex);
+            if (!p.client->fdClosed) {
+                ::close(p.client->fd);
+                p.client->fdClosed = true;
+            }
+        }
+    }
+}
+
+void
+EvalServer::sendToClient(const std::shared_ptr<Client> &client,
+                         const std::string &frame)
+{
+    std::lock_guard<std::mutex> send_lock(client->sendMutex);
+    if (client->sendClosed || client->fdClosed)
+        return;
+    if (!sendAll(client->fd, frame))
+        client->sendClosed = true;
+}
+
+void
+EvalServer::sendError(const std::shared_ptr<Client> &client,
+                      std::uint64_t id, ErrorCode code,
+                      const std::string &message)
+{
+    OBS_ONLY(svcMetrics().errors.add(1);)
+    ErrorMsg msg;
+    msg.id = id;
+    msg.code = code;
+    msg.message = message;
+    sendToClient(client, encodeFrame(msg));
+}
+
+} // namespace adaptsim::svc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The adaptsimd evaluation server.
+ *
+ * Serves EvalRequest frames (svc/protocol) from multiple concurrent
+ * clients over a Unix domain socket, answering each with an
+ * EvalReply carrying the repository's EvalRecord, the producing
+ * backend's name, and whether the answer came from the cache.
+ *
+ * Threading model: one I/O thread owns every socket (poll loop —
+ * accept, read, frame assembly, validation, admission control) and
+ * one dispatch thread drains the request queue.  Requests are
+ * coalesced per (phase window, backend): everything queued for the
+ * same group is popped as one batch and evaluated through
+ * EvalRepository::evaluateBatch, so concurrent clients asking about
+ * the same phase share one parallel simulation sweep instead of
+ * serializing on single evaluations.  Replies are written from the
+ * dispatch thread under a per-client send lock.
+ *
+ * Admission control: a request is shed with a typed Error reply —
+ * never a dropped connection — when the global queue already holds
+ * maxQueue requests (Overloaded) or the client already has clientCap
+ * requests in flight (TooManyInFlight).  Malformed frames get
+ * BadFrame/BadVersion/BadType errors and the connection stays
+ * usable; only an over-limit length prefix (Oversized) closes it,
+ * because the stream's frame boundary is unrecoverable.
+ *
+ * Telemetry (obs registry): svc/requests, svc/replies, svc/errors,
+ * svc/shed, svc/hit, svc/miss, svc/connects, svc/disconnects
+ * counters; svc/clients and svc/queue_depth gauges; svc/batch.size
+ * histogram; per-backend svc/eval/<backend>.seconds latency
+ * histograms.
+ */
+
+#ifndef ADAPTSIM_SVC_SERVER_HH
+#define ADAPTSIM_SVC_SERVER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.hh"
+#include "harness/repository.hh"
+#include "svc/protocol.hh"
+
+namespace adaptsim::sim
+{
+class PerfModel;
+}
+
+namespace adaptsim::svc
+{
+
+/** Server knobs; defaults come from the ADAPTSIM_SVC_* env. */
+struct ServerOptions
+{
+    /** Unix-socket path to bind (unlinked on clean shutdown). */
+    std::string socketPath;
+
+    /** Requests the queue may hold before new ones are shed with
+     *  Overloaded; 0 = unlimited.  Default ADAPTSIM_SVC_MAX_QUEUE. */
+    std::size_t maxQueue = adaptsim::svcMaxQueue();
+
+    /** Unanswered requests one client may have before further ones
+     *  are shed with TooManyInFlight.  Default
+     *  ADAPTSIM_SVC_CLIENT_CAP. */
+    std::size_t clientCap = adaptsim::svcClientCap();
+
+    /** Suppress the startup status line (the perf benches keep
+     *  stdout machine-readable). */
+    bool quiet = false;
+};
+
+/** Multi-client evaluation service over a Unix domain socket. */
+class EvalServer
+{
+  public:
+    /** @p repo outlives the server and does all the simulating. */
+    EvalServer(harness::EvalRepository &repo, ServerOptions options);
+
+    /** Stops and joins (equivalent to stop()). */
+    ~EvalServer();
+
+    EvalServer(const EvalServer &) = delete;
+    EvalServer &operator=(const EvalServer &) = delete;
+
+    /** Bind, listen and spawn the service threads.  Returns false
+     *  (with a warning) when the socket cannot be set up. */
+    bool start();
+
+    /** Ask the server to stop.  Async-signal-safe (one pipe write),
+     *  so a SIGINT/SIGTERM handler may call it directly. */
+    void requestStop();
+
+    /** Block until the server has stopped serving (requestStop()
+     *  from another thread or a signal handler ends the wait). */
+    void wait();
+
+    /** Full shutdown: requestStop(), join threads, close sockets,
+     *  unlink the socket path.  Idempotent. */
+    void stop();
+
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+  private:
+    /** Per-connection state (shared between the I/O thread and the
+     *  dispatch thread, which holds it while replies are pending). */
+    struct Client;
+
+    /** One queued request awaiting dispatch. */
+    struct Pending
+    {
+        std::shared_ptr<Client> client;
+        std::uint64_t id = 0;
+        std::uint64_t code = 0;
+    };
+
+    /** All queued requests of one (phase window, backend) group. */
+    struct Batch
+    {
+        harness::PhaseSpec spec;
+        const sim::PerfModel *backend = nullptr;
+        std::string backendName;
+        std::vector<Pending> reqs;
+    };
+
+    void ioLoop();
+    void dispatchLoop();
+    void acceptClient();
+    /** Read once from @p client; false = connection is gone. */
+    bool readClient(const std::shared_ptr<Client> &client);
+    /** Drain every complete frame currently buffered for @p client
+     *  (admission decisions for all of them happen under one lock
+     *  hold, so pipelined requests see a consistent queue). */
+    void drainFrames(const std::shared_ptr<Client> &client);
+    void dropClient(const std::shared_ptr<Client> &client);
+    void processBatch(Batch &batch);
+    /** Framed send under the client's send lock; marks the client
+     *  closed on failure. */
+    void sendToClient(const std::shared_ptr<Client> &client,
+                      const std::string &frame);
+    void sendError(const std::shared_ptr<Client> &client,
+                   std::uint64_t id, ErrorCode code,
+                   const std::string &message);
+
+    harness::EvalRepository &repo_;
+    ServerOptions options_;
+
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    bool started_ = false;
+    bool joined_ = false;
+    std::thread ioThread_;
+    std::thread dispatchThread_;
+
+    /** Guards queue_, queueDepth_, stopping_ and every client's
+     *  inFlight/closed flags.  queueCv_ wakes the dispatch thread;
+     *  stopCv_ wakes wait()ers on shutdown.  They must be separate:
+     *  with one shared condition variable a notify_one() for a new
+     *  batch can land on a thread blocked in wait() (whose predicate
+     *  is still false), and the dispatch thread never wakes. */
+    std::mutex mutex_;
+    std::condition_variable queueCv_;
+    std::condition_variable stopCv_;
+    bool stopping_ = false;
+    std::map<std::string, Batch> queue_;
+    std::size_t queueDepth_ = 0;
+
+    /** Live connections, keyed by fd (I/O thread only). */
+    std::unordered_map<int, std::shared_ptr<Client>> clients_;
+};
+
+} // namespace adaptsim::svc
+
+#endif // ADAPTSIM_SVC_SERVER_HH

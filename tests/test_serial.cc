@@ -76,6 +76,60 @@ TEST(Serial, U64IsLittleEndian)
     EXPECT_EQ(static_cast<unsigned char>(buf[7]), 0x01);
 }
 
+TEST(Serial, U32RoundTripAndEndianness)
+{
+    const std::uint32_t cases[] = {
+        0, 1, 0xff, 0x01020304u,
+        std::numeric_limits<std::uint32_t>::max()};
+    for (std::uint32_t v : cases) {
+        std::string buf;
+        putU32(buf, v);
+        ASSERT_EQ(buf.size(), 4u);
+        EXPECT_EQ(getU32(buf.data()), v);
+    }
+    std::string buf;
+    putU32(buf, 0x01020304u);
+    EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+    EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(Serial, StringRoundTrip)
+{
+    for (const std::string &s :
+         {std::string(""), std::string("gzip"),
+          std::string("with\0byte", 9), std::string(300, 'x')}) {
+        std::string buf;
+        putString(buf, s);
+        ASSERT_EQ(buf.size(), 4 + s.size());
+        std::size_t off = 0;
+        std::string back;
+        ASSERT_TRUE(getString(buf, off, back));
+        EXPECT_EQ(back, s);
+        EXPECT_EQ(off, buf.size());
+    }
+}
+
+TEST(Serial, GetStringRejectsTruncation)
+{
+    std::string buf;
+    putString(buf, "evaluation");
+    std::string out;
+    // Every truncation fails cleanly: a cut length prefix or a
+    // length that runs past the remaining bytes.
+    for (std::size_t n = 0; n < buf.size(); ++n) {
+        std::size_t off = 0;
+        EXPECT_FALSE(
+            getString(std::string_view(buf.data(), n), off, out))
+            << n;
+    }
+    // A hostile length prefix must not be trusted either.
+    std::string evil;
+    putU32(evil, 0xffffffffu);
+    evil += "short";
+    std::size_t off = 0;
+    EXPECT_FALSE(getString(evil, off, out));
+}
+
 TEST(Serial, DoubleRoundTripIsBitExact)
 {
     const double cases[] = {

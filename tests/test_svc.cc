@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Evaluation-service tests: protocol round trips and malformed-input
+ * fuzzing (truncations, bit flips, bad version/type bytes, oversized
+ * length prefixes — always a typed error, never a crash), the
+ * end-to-end daemon path over a real Unix socket (hit/miss tagging,
+ * bit-identical records, typed validation errors, admission
+ * control), and a multi-threaded client storm exercising the
+ * batching and locking under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/rng.hh"
+#include "common/serial.hh"
+#include "harness/repository.hh"
+#include "sim/perf_model.hh"
+#include "space/sampling.hh"
+#include "svc/client.hh"
+#include "svc/protocol.hh"
+#include "svc/server.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::svc;
+
+namespace
+{
+
+constexpr std::uint64_t kProgramLength = 200000;
+
+harness::PhaseSpec
+testSpec()
+{
+    return harness::PhaseSpec{"gzip", kProgramLength, 60000, 2000,
+                              1500};
+}
+
+EvalRequestMsg
+testRequest(std::uint64_t id = 7)
+{
+    EvalRequestMsg req;
+    req.id = id;
+    req.spec = testSpec();
+    req.configCode = space::Configuration().encode();
+    req.backend = "cycle";
+    return req;
+}
+
+/** Payload bytes of a frame (strip the u32 length prefix). */
+std::string
+payloadOf(const std::string &frame)
+{
+    return frame.substr(4);
+}
+
+class SvcProtocolTest : public ::testing::Test
+{
+};
+
+TEST_F(SvcProtocolTest, RequestRoundTrip)
+{
+    const EvalRequestMsg req = testRequest(42);
+    Message out;
+    ASSERT_EQ(decodePayload(payloadOf(encodeFrame(req)), out),
+              ErrorCode::None);
+    ASSERT_EQ(out.type, MsgType::EvalRequest);
+    EXPECT_EQ(out.request.id, 42u);
+    EXPECT_EQ(out.request.spec.workload, "gzip");
+    EXPECT_EQ(out.request.spec.programLength, kProgramLength);
+    EXPECT_EQ(out.request.spec.startInst, 60000u);
+    EXPECT_EQ(out.request.spec.warmLength, 2000u);
+    EXPECT_EQ(out.request.spec.detailLength, 1500u);
+    EXPECT_EQ(out.request.configCode, req.configCode);
+    EXPECT_EQ(out.request.backend, "cycle");
+}
+
+TEST_F(SvcProtocolTest, ReplyRoundTripBitExact)
+{
+    EvalReplyMsg reply;
+    reply.id = 9;
+    reply.record.cycles = 12345.5;
+    reply.record.instructions = 6789.0;
+    reply.record.seconds = 1.25e-3;
+    reply.record.joules = 0.062;
+    reply.record.ipc = 0.55;
+    reply.record.watts = 49.6;
+    reply.record.efficiency = 1.7e27;
+    reply.producer = "interval";
+    reply.cacheHit = true;
+
+    Message out;
+    ASSERT_EQ(decodePayload(payloadOf(encodeFrame(reply)), out),
+              ErrorCode::None);
+    ASSERT_EQ(out.type, MsgType::EvalReply);
+    EXPECT_EQ(out.reply.id, 9u);
+    EXPECT_EQ(std::memcmp(&out.reply.record, &reply.record,
+                          sizeof(reply.record)),
+              0);
+    EXPECT_EQ(out.reply.producer, "interval");
+    EXPECT_TRUE(out.reply.cacheHit);
+}
+
+TEST_F(SvcProtocolTest, ErrorRoundTrip)
+{
+    ErrorMsg err;
+    err.id = 3;
+    err.code = ErrorCode::Overloaded;
+    err.message = "request queue full";
+    Message out;
+    ASSERT_EQ(decodePayload(payloadOf(encodeFrame(err)), out),
+              ErrorCode::None);
+    ASSERT_EQ(out.type, MsgType::Error);
+    EXPECT_EQ(out.error.id, 3u);
+    EXPECT_EQ(out.error.code, ErrorCode::Overloaded);
+    EXPECT_EQ(out.error.message, "request queue full");
+}
+
+TEST_F(SvcProtocolTest, EveryTruncationIsTypedNotACrash)
+{
+    const std::string payload = payloadOf(encodeFrame(testRequest()));
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        Message out;
+        EXPECT_EQ(decodePayload(payload.substr(0, len), out),
+                  ErrorCode::BadFrame)
+            << "truncation at " << len;
+    }
+}
+
+TEST_F(SvcProtocolTest, EveryBitFlipIsTypedNotACrash)
+{
+    const std::string payload = payloadOf(encodeFrame(testRequest()));
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bad = payload;
+            bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+            Message out;
+            // The checksum catches every flip; the only question is
+            // which typed reason comes back.  Never a crash.
+            EXPECT_NE(decodePayload(bad, out), ErrorCode::None)
+                << "byte " << i << " bit " << bit;
+        }
+    }
+}
+
+TEST_F(SvcProtocolTest, WrongVersionByte)
+{
+    // Rebuild a payload with a bad version but a valid checksum.
+    std::string p;
+    p.push_back(char(99));
+    p.push_back(char(MsgType::EvalRequest));
+    putU64(p, fnv1a64(p.data(), p.size()));
+    Message out;
+    EXPECT_EQ(decodePayload(p, out), ErrorCode::BadVersion);
+}
+
+TEST_F(SvcProtocolTest, UnknownTypeByte)
+{
+    std::string p;
+    p.push_back(char(kProtocolVersion));
+    p.push_back(char(77));
+    putU64(p, fnv1a64(p.data(), p.size()));
+    Message out;
+    EXPECT_EQ(decodePayload(p, out), ErrorCode::BadType);
+}
+
+TEST_F(SvcProtocolTest, GarbageBodyWithValidChecksumIsBadFrame)
+{
+    // A "request" whose string length prefix points past the body.
+    std::string p;
+    p.push_back(char(kProtocolVersion));
+    p.push_back(char(MsgType::EvalRequest));
+    putU64(p, 1);                  // id
+    putU32(p, 0xffffffffu);        // workload length: way out
+    putU64(p, fnv1a64(p.data(), p.size()));
+    Message out;
+    EXPECT_EQ(decodePayload(p, out), ErrorCode::BadFrame);
+}
+
+TEST_F(SvcProtocolTest, FrameBufferReassemblesByteByByte)
+{
+    const std::string f1 = encodeFrame(testRequest(1));
+    const std::string f2 = encodeFrame(testRequest(2));
+    const std::string stream = f1 + f2;
+
+    FrameBuffer buf;
+    std::vector<std::string> payloads;
+    for (char c : stream) {
+        buf.append(&c, 1);
+        std::string out;
+        while (buf.next(out) == FrameBuffer::Result::Frame)
+            payloads.push_back(out);
+    }
+    ASSERT_EQ(payloads.size(), 2u);
+    Message m1, m2;
+    ASSERT_EQ(decodePayload(payloads[0], m1), ErrorCode::None);
+    ASSERT_EQ(decodePayload(payloads[1], m2), ErrorCode::None);
+    EXPECT_EQ(m1.request.id, 1u);
+    EXPECT_EQ(m2.request.id, 2u);
+    EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST_F(SvcProtocolTest, OversizedLengthPoisonsTheBuffer)
+{
+    std::string bytes;
+    putU32(bytes, kMaxFrameBytes + 1);
+    bytes += "whatever";
+    FrameBuffer buf;
+    buf.append(bytes.data(), bytes.size());
+    std::string out;
+    EXPECT_EQ(buf.next(out), FrameBuffer::Result::Oversized);
+    // Poisoned for good: even appending a valid frame cannot recover
+    // the stream's byte boundary.
+    const std::string good = encodeFrame(testRequest());
+    buf.append(good.data(), good.size());
+    EXPECT_EQ(buf.next(out), FrameBuffer::Result::Oversized);
+}
+
+/** Server fixture: one daemon on a temp socket, fresh store. */
+class SvcServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = "/tmp/adaptsim_svc_test";
+        std::filesystem::remove_all(dir_);
+        socket_ = dir_ + "/daemon.sock";
+        repo_ = std::make_unique<harness::EvalRepository>(
+            workload::specSuite(kProgramLength), dir_, 2);
+    }
+
+    void
+    TearDown() override
+    {
+        server_.reset();
+        repo_.reset();
+        std::filesystem::remove_all(dir_);
+    }
+
+    bool
+    startServer(std::size_t max_queue = 0,
+                std::size_t client_cap = 64)
+    {
+        ServerOptions opts;
+        opts.socketPath = socket_;
+        opts.maxQueue = max_queue;
+        opts.clientCap = client_cap;
+        server_ =
+            std::make_unique<EvalServer>(*repo_, std::move(opts));
+        return server_->start();
+    }
+
+    /** Raw connected socket fd for byte-level protocol abuse. */
+    int
+    rawConnect()
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, socket_.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        return fd;
+    }
+
+    /** Read frames from @p fd until @p n messages arrived. */
+    std::vector<Message>
+    readMessages(int fd, std::size_t n)
+    {
+        std::vector<Message> out;
+        FrameBuffer buf;
+        char bytes[4096];
+        while (out.size() < n) {
+            std::string payload;
+            while (out.size() < n &&
+                   buf.next(payload) == FrameBuffer::Result::Frame) {
+                Message msg;
+                EXPECT_EQ(decodePayload(payload, msg),
+                          ErrorCode::None);
+                out.push_back(std::move(msg));
+            }
+            if (out.size() >= n)
+                break;
+            const ssize_t got =
+                ::recv(fd, bytes, sizeof(bytes), 0);
+            if (got <= 0)
+                break;
+            buf.append(bytes, std::size_t(got));
+        }
+        return out;
+    }
+
+    std::string dir_;
+    std::string socket_;
+    std::unique_ptr<harness::EvalRepository> repo_;
+    std::unique_ptr<EvalServer> server_;
+};
+
+TEST_F(SvcServerTest, EvaluateMissThenHitBitExact)
+{
+    ASSERT_TRUE(startServer());
+    auto client = EvalClient::connect(socket_);
+    ASSERT_NE(client, nullptr);
+
+    const auto spec = testSpec();
+    const space::Configuration cfg;
+    const EvalResult first = client->evaluate(spec, cfg, "cycle");
+    ASSERT_TRUE(first.ok) << first.errorMessage;
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_EQ(first.producer, "cycle");
+
+    const EvalResult again = client->evaluate(spec, cfg, "cycle");
+    ASSERT_TRUE(again.ok);
+    EXPECT_TRUE(again.cacheHit);
+    EXPECT_EQ(std::memcmp(&again.record, &first.record,
+                          sizeof(first.record)),
+              0);
+
+    // The service answer is the repository answer, bit for bit.
+    const auto local =
+        repo_->evaluate(spec, cfg, &sim::perfModel("cycle"));
+    EXPECT_EQ(std::memcmp(&local, &first.record, sizeof(local)), 0);
+}
+
+TEST_F(SvcServerTest, UnknownWorkloadAndBackendAreTypedErrors)
+{
+    ASSERT_TRUE(startServer());
+    auto client = EvalClient::connect(socket_);
+    ASSERT_NE(client, nullptr);
+
+    auto spec = testSpec();
+    spec.workload = "no-such-program";
+    const EvalResult bad_wl = client->evaluate(
+        spec, space::Configuration(), "cycle");
+    EXPECT_FALSE(bad_wl.ok);
+    EXPECT_EQ(bad_wl.error, ErrorCode::UnknownWorkload);
+
+    const EvalResult bad_be = client->evaluate(
+        testSpec(), space::Configuration(), "no-such-backend");
+    EXPECT_FALSE(bad_be.ok);
+    EXPECT_EQ(bad_be.error, ErrorCode::UnknownBackend);
+
+    // The connection survived both errors.
+    const EvalResult ok = client->evaluate(
+        testSpec(), space::Configuration(), "cycle");
+    EXPECT_TRUE(ok.ok);
+}
+
+TEST_F(SvcServerTest, GarbageFramesGetErrorsConnectionSurvives)
+{
+    ASSERT_TRUE(startServer());
+    const int fd = rawConnect();
+
+    // A correctly framed payload full of garbage bytes.
+    std::string garbage(32, '\xa5');
+    std::string frame;
+    putU32(frame, std::uint32_t(garbage.size()));
+    frame += garbage;
+    ASSERT_TRUE(::send(fd, frame.data(), frame.size(),
+                       MSG_NOSIGNAL) > 0);
+    auto msgs = readMessages(fd, 1);
+    ASSERT_EQ(msgs.size(), 1u);
+    ASSERT_EQ(msgs[0].type, MsgType::Error);
+    EXPECT_EQ(msgs[0].error.code, ErrorCode::BadFrame);
+
+    // Same connection still serves real requests.
+    const std::string good = encodeFrame(testRequest(5));
+    ASSERT_TRUE(::send(fd, good.data(), good.size(),
+                       MSG_NOSIGNAL) > 0);
+    msgs = readMessages(fd, 1);
+    ASSERT_EQ(msgs.size(), 1u);
+    ASSERT_EQ(msgs[0].type, MsgType::EvalReply);
+    EXPECT_EQ(msgs[0].reply.id, 5u);
+    ::close(fd);
+}
+
+TEST_F(SvcServerTest, OversizedFrameGetsErrorAndDisconnect)
+{
+    ASSERT_TRUE(startServer());
+    const int fd = rawConnect();
+    std::string bytes;
+    putU32(bytes, kMaxFrameBytes + 1);
+    ASSERT_TRUE(::send(fd, bytes.data(), bytes.size(),
+                       MSG_NOSIGNAL) > 0);
+    const auto msgs = readMessages(fd, 1);
+    ASSERT_EQ(msgs.size(), 1u);
+    ASSERT_EQ(msgs[0].type, MsgType::Error);
+    EXPECT_EQ(msgs[0].error.code, ErrorCode::Oversized);
+    // The server closes the poisoned stream: the next read is EOF.
+    char c;
+    EXPECT_EQ(::recv(fd, &c, 1, 0), 0);
+    ::close(fd);
+}
+
+TEST_F(SvcServerTest, PerClientInFlightCapSheds)
+{
+    ASSERT_TRUE(startServer(/*max_queue=*/0, /*client_cap=*/1));
+    const int fd = rawConnect();
+
+    // Two pipelined requests in ONE send: the server admits them
+    // under one lock hold, so the second deterministically exceeds
+    // the in-flight cap of 1 while the first is pending.
+    EvalRequestMsg r1 = testRequest(1);
+    EvalRequestMsg r2 = testRequest(2);
+    Rng rng(7);
+    r2.configCode = space::uniformRandomSet(rng, 1).front().encode();
+    const std::string burst = encodeFrame(r1) + encodeFrame(r2);
+    ASSERT_TRUE(::send(fd, burst.data(), burst.size(),
+                       MSG_NOSIGNAL) > 0);
+
+    const auto msgs = readMessages(fd, 2);
+    ASSERT_EQ(msgs.size(), 2u);
+    std::size_t replies = 0, shed = 0;
+    for (const auto &m : msgs) {
+        if (m.type == MsgType::EvalReply) {
+            ++replies;
+            EXPECT_EQ(m.reply.id, 1u);
+        } else {
+            ++shed;
+            EXPECT_EQ(m.error.code, ErrorCode::TooManyInFlight);
+            EXPECT_EQ(m.error.id, 2u);
+        }
+    }
+    EXPECT_EQ(replies, 1u);
+    EXPECT_EQ(shed, 1u);
+    ::close(fd);
+}
+
+TEST_F(SvcServerTest, QueueBoundShedsWithOverloaded)
+{
+    ASSERT_TRUE(startServer(/*max_queue=*/1, /*client_cap=*/64));
+    const int fd = rawConnect();
+
+    Rng rng(11);
+    const auto configs = space::uniformRandomSet(rng, 3);
+    std::string burst;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        EvalRequestMsg r = testRequest(id);
+        r.configCode = configs[id - 1].encode();
+        burst += encodeFrame(r);
+    }
+    ASSERT_TRUE(::send(fd, burst.data(), burst.size(),
+                       MSG_NOSIGNAL) > 0);
+
+    const auto msgs = readMessages(fd, 3);
+    ASSERT_EQ(msgs.size(), 3u);
+    std::size_t replies = 0, shed = 0;
+    for (const auto &m : msgs) {
+        if (m.type == MsgType::EvalReply)
+            ++replies;
+        else {
+            ++shed;
+            EXPECT_EQ(m.error.code, ErrorCode::Overloaded);
+        }
+    }
+    EXPECT_EQ(replies, 1u);
+    EXPECT_EQ(shed, 2u);
+    ::close(fd);
+}
+
+TEST_F(SvcServerTest, DispatchRunsWhileAThreadBlocksInWait)
+{
+    // Regression: the daemon's main thread parks in wait() until a
+    // signal arrives.  The dispatch wakeup must not be able to land
+    // on that thread instead of the dispatch thread (a shared
+    // condition variable with notify_one() lost the wakeup when the
+    // whole pipelined burst arrived as one drain — one notify — and
+    // the first batch was never evaluated: a hung daemon).  The
+    // waiter parks BEFORE start() so it is first in the wake queue,
+    // and the burst goes out in one send so the server admits it
+    // under one lock hold with a single notification.
+    ServerOptions opts;
+    opts.socketPath = socket_;
+    opts.maxQueue = 0;
+    opts.clientCap = 4;
+    opts.quiet = true;
+    server_ = std::make_unique<EvalServer>(*repo_, std::move(opts));
+    std::thread waiter([&] { server_->wait(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(server_->start());
+
+    const int fd = rawConnect();
+    Rng rng(13);
+    const auto pool = space::uniformRandomSet(rng, 12);
+    std::string burst;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        EvalRequestMsg r = testRequest(std::uint64_t(i + 1));
+        r.configCode = pool[i].encode();
+        burst += encodeFrame(r);
+    }
+    ASSERT_TRUE(::send(fd, burst.data(), burst.size(),
+                       MSG_NOSIGNAL) > 0);
+
+    // Three times the in-flight cap: every id must resolve as a
+    // reply or a typed shed — never silence.
+    const auto msgs = readMessages(fd, pool.size());
+    ASSERT_EQ(msgs.size(), pool.size());
+    std::size_t ok = 0, shed = 0;
+    for (const auto &m : msgs) {
+        if (m.type == MsgType::EvalReply)
+            ++ok;
+        else {
+            EXPECT_EQ(m.error.code, ErrorCode::TooManyInFlight);
+            ++shed;
+        }
+    }
+    EXPECT_EQ(ok, 4u);
+    EXPECT_EQ(shed, pool.size() - 4u);
+    ::close(fd);
+
+    server_->requestStop();
+    waiter.join();
+}
+
+TEST_F(SvcServerTest, ClientStormFourConcurrentClients)
+{
+    ASSERT_TRUE(startServer());
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kPipelined = 6;
+
+    // A small shared pool: clients overlap heavily, so the server's
+    // coalescing, caching and per-client accounting all get hit
+    // from four directions at once.
+    Rng rng(2010);
+    const auto pool = space::uniformRandomSet(rng, 8);
+
+    std::vector<std::size_t> ok_count(kClients, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (std::size_t t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            auto client = EvalClient::connect(socket_);
+            if (!client)
+                return;
+            const auto spec = testSpec();
+            for (int round = 0; round < 3; ++round) {
+                std::vector<std::uint64_t> ids;
+                for (std::size_t i = 0; i < kPipelined; ++i) {
+                    const auto &cfg =
+                        pool[(t + i + std::size_t(round)) %
+                             pool.size()];
+                    ids.push_back(
+                        client->submit(spec, cfg, "cycle"));
+                }
+                for (const auto id : ids) {
+                    if (id != 0 && client->wait(id).ok)
+                        ++ok_count[t];
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (std::size_t t = 0; t < kClients; ++t)
+        EXPECT_EQ(ok_count[t], kPipelined * 3) << "client " << t;
+
+    // 72 requests over 8 configurations: nearly all served from the
+    // shared cache.  The bound is 2× the pool, not 1×, because two
+    // pool workers may benignly race to simulate the same config
+    // within one batch (both results are identical).
+    EXPECT_LE(repo_->simulationsRun(), pool.size() * 2);
+    EXPECT_GT(repo_->cacheHits(), 0u);
+}
+
+} // namespace

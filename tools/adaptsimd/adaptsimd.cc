@@ -1,0 +1,129 @@
+/**
+ * @file
+ * adaptsimd — the multi-client evaluation daemon.
+ *
+ * Serves (workload, phase window, configuration, backend) evaluation
+ * requests over a Unix domain socket (svc/protocol), backed by one
+ * shared EvalRepository: every client benefits from every other
+ * client's cached simulations, concurrent requests for the same
+ * phase coalesce into one parallel batch, and the on-disk store is
+ * shared by all of them.
+ *
+ * Usage:
+ *   adaptsimd --socket /tmp/adaptsim.sock [options]
+ *
+ * Options:
+ *   --socket PATH      socket to serve on (default
+ *                      ADAPTSIM_EVAL_SOCKET, else
+ *                      /tmp/adaptsimd.sock)
+ *   --data-dir DIR     evaluation store (default ADAPTSIM_DATA_DIR)
+ *   --program-length N suite program length in µops (default 400000)
+ *   --threads N        evaluation parallelism (default
+ *                      ADAPTSIM_THREADS / hardware)
+ *   --shards N         store shard files per phase (default
+ *                      ADAPTSIM_EVAL_SHARDS)
+ *   --max-queue N      admission-control queue bound (default
+ *                      ADAPTSIM_SVC_MAX_QUEUE; 0 = unlimited)
+ *   --client-cap N     per-client in-flight cap (default
+ *                      ADAPTSIM_SVC_CLIENT_CAP)
+ *
+ * SIGINT/SIGTERM shut the daemon down cleanly: pending batches
+ * finish flushing to the store, telemetry is reported, the socket
+ * path is unlinked.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "harness/repository.hh"
+#include "obs/obs.hh"
+#include "svc/server.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+
+namespace
+{
+
+svc::EvalServer *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (gServer)
+        gServer->requestStop(); // async-signal-safe (pipe write)
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    fatal("usage: ", argv0,
+          " [--socket PATH] [--data-dir DIR] [--program-length N]"
+          " [--threads N] [--shards N] [--max-queue N]"
+          " [--client-cap N]");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::initFromEnv();
+
+    std::string socket_path = evalSocketPath();
+    if (socket_path.empty())
+        socket_path = "/tmp/adaptsimd.sock";
+    std::string data_dir = dataDir();
+    std::uint64_t program_length = 400000;
+    unsigned threads = numThreads();
+    std::size_t shards = 0; // 0 = env default
+    svc::ServerOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            socket_path = argv[++i];
+        } else if (arg == "--data-dir" && has_value) {
+            data_dir = argv[++i];
+        } else if (arg == "--program-length" && has_value) {
+            program_length = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--threads" && has_value) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--shards" && has_value) {
+            shards = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--max-queue" && has_value) {
+            opts.maxQueue = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--client-cap" && has_value) {
+            opts.clientCap = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (program_length == 0 || threads == 0 || opts.clientCap == 0)
+        usage(argv[0]);
+
+    harness::EvalRepository repo(workload::specSuite(program_length),
+                                 data_dir, threads, shards);
+
+    opts.socketPath = socket_path;
+    svc::EvalServer server(repo, opts);
+    gServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (!server.start())
+        fatal("adaptsimd: cannot serve on ", socket_path);
+    server.wait();
+    server.stop();
+    gServer = nullptr;
+
+    repo.flush();
+    inform("adaptsimd: stopped (", repo.statsSummary(), ")");
+    return 0;
+}
