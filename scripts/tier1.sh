@@ -12,7 +12,11 @@
 #      out cleanly
 #   5. -DADAPTSIM_WERROR=ON hardened compile: the whole tree (library,
 #      tools, tests, benches, examples) must be -Wshadow -Werror clean
-# Sanitizer passes skip gracefully where the runtime is unavailable.
+#   6. clang -DADAPTSIM_THREAD_SAFETY=ON static concurrency analysis:
+#      the annotations in src/common/thread_annotations.hh must prove
+#      lock discipline under -Wthread-safety -Werror
+# Sanitizer and clang passes skip gracefully where the toolchain
+# piece is unavailable (CI runs them unconditionally).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,5 +72,17 @@ ctest --test-dir build-noobs --output-on-failure -R 'test_obs'
 # 5. Hardened warning profile (compile-only).
 cmake -B build-werror -S . -DADAPTSIM_WERROR=ON
 cmake --build build-werror -j
+
+# 6. Clang thread-safety analysis (compile-only): proves the lock
+# annotations across every locked subsystem.  GCC compiles the
+# macros out, so this pass needs a real clang++.
+if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-threadsafety -S . \
+        -DCMAKE_CXX_COMPILER=clang++ -DADAPTSIM_THREAD_SAFETY=ON
+    cmake --build build-threadsafety -j \
+        --target adaptsim adaptsimd adaptsim_lint
+else
+    echo "tier1: clang++ unavailable; skipping thread-safety pass"
+fi
 
 echo "tier1: all passes complete"

@@ -17,9 +17,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/sync.hh"
 
 namespace adaptsim
 {
@@ -28,10 +29,10 @@ namespace detail
 {
 
 /** One mutex for every line-oriented writer in the process. */
-inline std::mutex &
+inline Mutex &
 logMutex()
 {
-    static std::mutex mutex;
+    static Mutex mutex;
     return mutex;
 }
 
@@ -67,7 +68,7 @@ concat(const Args &... args)
 inline void
 lockedWrite(std::FILE *stream, const std::string &text)
 {
-    std::lock_guard<std::mutex> lock(detail::logMutex());
+    MutexLock lock(detail::logMutex());
     std::fputs(text.c_str(), stream);
     std::fflush(stream);
 }

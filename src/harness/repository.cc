@@ -370,8 +370,7 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
     cache.shardState.resize(shards_);
     cache.shardFileMutex.reserve(shards_);
     for (std::size_t i = 0; i < shards_; ++i)
-        cache.shardFileMutex.push_back(
-            std::make_unique<std::mutex>());
+        cache.shardFileMutex.push_back(std::make_unique<Mutex>());
 
     // Probe every possible shard file so a store written under a
     // different shard count is still found whole.  Files beyond the
@@ -500,7 +499,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     // cached cycle-level record satisfies a cascade query outright).
     const auto tags = model.cacheLookupTags();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &cache = cacheFor(spec);
         for (const std::uint64_t tag : tags) {
             const auto it = cache.records.find(EvalKey{tag, code});
@@ -529,7 +528,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     // actually produced it, so a cascade escalation yields a real
     // cycle-level record other backends can reuse.
     const EvalKey key{producer->cacheTag(), code};
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     simSeconds_ += secs;
     ++simulated_;
     ++simulatedByBackend_[producer->name()];
@@ -565,7 +564,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     // are already in cache.records, so the rewrite includes them.
     std::vector<std::pair<EvalKey, EvalRecord>> batch;
     batch.swap(shard.unsaved);
-    std::mutex &file_mutex = *cache.shardFileMutex[s];
+    Mutex &file_mutex = *cache.shardFileMutex[s];
     const std::string path = shardPath(spec.key(), s);
     lock.unlock();
 
@@ -574,7 +573,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
         encodeRecord(bytes, ek, rec);
     bool ok;
     {
-        std::lock_guard<std::mutex> file_lock(file_mutex);
+        MutexLock file_lock(file_mutex);
         ok = appendFileSync(path, bytes);
     }
 
@@ -600,7 +599,7 @@ EvalRepository::peekCached(const PhaseSpec &spec,
         backend ? *backend : sim::defaultPerfModel();
     const std::uint64_t code = config.encode();
     const auto tags = model.cacheLookupTags();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto &cache = cacheFor(spec);
     for (const std::uint64_t tag : tags) {
         if (cache.records.count(EvalKey{tag, code}) > 0)
@@ -621,7 +620,7 @@ EvalRepository::evaluateBatch(
     // of the batch uses the same model even if the env changes.
     const sim::PerfModel &model =
         backend ? *backend : sim::defaultPerfModel();
-    std::lock_guard<std::mutex> batch(batchMutex_);
+    MutexLock batch(batchMutex_);
     std::vector<EvalRecord> out(configs.size());
     pool_.parallelFor(configs.size(), [&](std::size_t i) {
         out[i] = evaluate(spec, configs[i], &model);
@@ -662,7 +661,7 @@ EvalRepository::profile(const PhaseSpec &spec,
                                       ? requested
                                       : sim::perfModel("cycle");
     if (&model != &requested) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (profileWarned_.insert(requested.name()).second)
             warn("backend \"", requested.name(),
                  "\" cannot drive profiling counters; using \"",
@@ -670,7 +669,7 @@ EvalRepository::profile(const PhaseSpec &spec,
                  "\" for its profiling runs (warned once)");
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = profiles_.find(spec.key());
         if (it != profiles_.end()) {
             ++hits_;
@@ -706,7 +705,7 @@ EvalRepository::profile(const PhaseSpec &spec,
                     counters::FeatureSet::Advanced);
             if (parsed && rec.basic.size() == want_basic &&
                 rec.advanced.size() == want_advanced) {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 ++hits_;
                 OBS_ONLY(repoMetrics().hit.add(1);)
                 profiles_[spec.key()] = rec;
@@ -772,7 +771,7 @@ EvalRepository::profile(const PhaseSpec &spec,
             warn("cannot persist profile for ", spec.key());
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     profiles_[spec.key()] = rec;
     ++simulated_;
     ++simulatedByBackend_[model.name()];
@@ -784,7 +783,7 @@ std::vector<std::pair<std::uint64_t, EvalRecord>>
 EvalRepository::records(const PhaseSpec &spec,
                         std::uint64_t backendTag)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto &cache = cacheFor(spec);
     std::vector<std::pair<std::uint64_t, EvalRecord>> out;
     for (const auto &[key, r] : cache.records) {
@@ -801,7 +800,7 @@ EvalRepository::records(const PhaseSpec &spec,
 void
 EvalRepository::flush()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     flushLocked();
 }
 
@@ -831,8 +830,7 @@ EvalRepository::flushLocked()
                     }
                 }
                 const std::string path = shardPath(key, s);
-                std::lock_guard<std::mutex> file_lock(
-                    *cache.shardFileMutex[s]);
+                MutexLock file_lock(*cache.shardFileMutex[s]);
                 if (count == 0 && s > 0) {
                     // Secondary shard with no records: leave no
                     // header-only stub behind.
@@ -872,8 +870,7 @@ EvalRepository::flushLocked()
                 const std::string path = shardPath(key, s);
                 bool ok;
                 std::size_t written;
-                std::lock_guard<std::mutex> file_lock(
-                    *cache.shardFileMutex[s]);
+                MutexLock file_lock(*cache.shardFileMutex[s]);
                 if (!shard.haveBinaryFile) {
                     if (shard.unsaved.empty())
                         continue;
@@ -916,7 +913,7 @@ EvalRepository::flushLocked()
 CacheStats
 EvalRepository::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CacheStats s;
     s.hits = hits_;
     s.misses = simulated_;
@@ -968,7 +965,7 @@ EvalRepository::statsSummary() const
 void
 EvalRepository::setFlushEvery(std::size_t n)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     flushEvery_ = std::max<std::size_t>(1, n);
 }
 

@@ -43,13 +43,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hh"
 #include "counters/feature_vector.hh"
 #include "harness/thread_pool.hh"
 #include "space/configuration.hh"
@@ -174,7 +174,8 @@ class EvalRepository
      */
     EvalRecord evaluate(const PhaseSpec &spec,
                         const space::Configuration &config,
-                        const sim::PerfModel *backend = nullptr);
+                        const sim::PerfModel *backend = nullptr)
+        ADAPTSIM_EXCLUDES(mutex_);
 
     /** Evaluate many configurations on one phase, in parallel.
      *  When the backend names a groundTruthModel(), the points it
@@ -183,7 +184,8 @@ class EvalRepository
     std::vector<EvalRecord>
     evaluateBatch(const PhaseSpec &spec,
                   const std::vector<space::Configuration> &configs,
-                  const sim::PerfModel *backend = nullptr);
+                  const sim::PerfModel *backend = nullptr)
+        ADAPTSIM_EXCLUDES(batchMutex_, mutex_);
 
     /**
      * Profiling-configuration run with counters (cached).  The
@@ -192,12 +194,13 @@ class EvalRepository
      * back to the cycle-level model with a warning.
      */
     ProfileRecord profile(const PhaseSpec &spec,
-                          const sim::PerfModel *backend = nullptr);
+                          const sim::PerfModel *backend = nullptr)
+        ADAPTSIM_EXCLUDES(mutex_);
 
     /** Persist any unsaved results now (incremental flushing also
      *  runs whenever any single shard accumulates flushEvery()
      *  unsaved records; see ADAPTSIM_FLUSH_EVERY). */
-    void flush();
+    void flush() ADAPTSIM_EXCLUDES(mutex_);
 
     const workload::Workload &workload(const std::string &name) const;
 
@@ -215,10 +218,22 @@ class EvalRepository
      */
     bool peekCached(const PhaseSpec &spec,
                     const space::Configuration &config,
-                    const sim::PerfModel *backend = nullptr);
+                    const sim::PerfModel *backend = nullptr)
+        ADAPTSIM_EXCLUDES(mutex_);
 
-    std::uint64_t simulationsRun() const { return simulated_; }
-    std::uint64_t cacheHits() const { return hits_; }
+    std::uint64_t
+    simulationsRun() const
+    {
+        MutexLock lock(mutex_);
+        return simulated_;
+    }
+
+    std::uint64_t
+    cacheHits() const
+    {
+        MutexLock lock(mutex_);
+        return hits_;
+    }
 
     /** Snapshot of the activity counters. */
     CacheStats stats() const;
@@ -228,8 +243,14 @@ class EvalRepository
 
     /** Records buffered per shard between incremental flushes
      *  (default from env). */
-    std::size_t flushEvery() const { return flushEvery_; }
-    void setFlushEvery(std::size_t n);
+    std::size_t
+    flushEvery() const
+    {
+        MutexLock lock(mutex_);
+        return flushEvery_;
+    }
+
+    void setFlushEvery(std::size_t n) ADAPTSIM_EXCLUDES(mutex_);
 
     /** The interval-trace cache shared by all worker threads. */
     workload::TraceCache &traceCache() { return traceCache_; }
@@ -241,7 +262,8 @@ class EvalRepository
      *  tag, sorted by configuration code (surrogate training data
      *  harvest; loads the phase's disk cache if needed). */
     std::vector<std::pair<std::uint64_t, EvalRecord>>
-    records(const PhaseSpec &spec, std::uint64_t backendTag);
+    records(const PhaseSpec &spec, std::uint64_t backendTag)
+        ADAPTSIM_EXCLUDES(mutex_);
 
   private:
     /** Per-shard persistence state of one phase's store. */
@@ -258,8 +280,10 @@ class EvalRepository
         std::unordered_map<EvalKey, EvalRecord, EvalKeyHash> records;
         std::vector<ShardState> shardState;
         /** Per-shard file-append locks: concurrent writers flushing
-         *  different shards never serialize on one another. */
-        std::vector<std::unique_ptr<std::mutex>> shardFileMutex;
+         *  different shards never serialize on one another.  Always
+         *  acquired after mutex_ or with mutex_ dropped (the append
+         *  fast path), never the other way around. */
+        std::vector<std::unique_ptr<Mutex>> shardFileMutex;
         bool loaded = false;
         /** The on-disk layout does not match the current shard
          *  count/format (reshard or migration); the next flush
@@ -276,19 +300,26 @@ class EvalRepository
     EvalRecord simulate(const PhaseSpec &spec,
                         const space::Configuration &config,
                         const sim::PerfModel &backend,
-                        const sim::PerfModel *&producer);
+                        const sim::PerfModel *&producer)
+        ADAPTSIM_EXCLUDES(mutex_);
 
-    PhaseCache &cacheFor(const PhaseSpec &spec);
-    void loadCache(const PhaseSpec &spec, PhaseCache &cache);
+    PhaseCache &cacheFor(const PhaseSpec &spec)
+        ADAPTSIM_REQUIRES(mutex_);
+    void loadCache(const PhaseSpec &spec, PhaseCache &cache)
+        ADAPTSIM_REQUIRES(mutex_);
     bool loadBinaryCache(const std::string &path,
                          const std::string &bytes, PhaseCache &cache,
-                         std::size_t shard_index, bool &misplaced);
+                         std::size_t shard_index, bool &misplaced)
+        ADAPTSIM_REQUIRES(mutex_);
     bool loadV1Cache(const std::string &path,
-                     const std::string &bytes, PhaseCache &cache);
-    void adoptRecords(const PhaseCache &from, PhaseCache &cache);
+                     const std::string &bytes, PhaseCache &cache)
+        ADAPTSIM_REQUIRES(mutex_);
+    void adoptRecords(const PhaseCache &from, PhaseCache &cache)
+        ADAPTSIM_REQUIRES(mutex_);
     void loadLegacyCsv(const std::string &path,
-                       const std::string &bytes, PhaseCache &cache);
-    void flushLocked();
+                       const std::string &bytes, PhaseCache &cache)
+        ADAPTSIM_REQUIRES(mutex_);
+    void flushLocked() ADAPTSIM_REQUIRES(mutex_);
     /** Shard index of @p key under the current shard count. */
     std::size_t shardOf(const EvalKey &key) const;
     /** Path of shard @p i of the phase keyed @p spec_key. */
@@ -308,23 +339,26 @@ class EvalRepository
 
     /** Serializes evaluateBatch calls from distinct user threads so
      *  concurrent gathers can share one repository. */
-    std::mutex batchMutex_;
+    Mutex batchMutex_ ADAPTSIM_ACQUIRED_BEFORE(mutex_);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, PhaseCache> caches_;
-    std::unordered_map<std::string, ProfileRecord> profiles_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, PhaseCache> caches_
+        ADAPTSIM_GUARDED_BY(mutex_);
+    std::unordered_map<std::string, ProfileRecord> profiles_
+        ADAPTSIM_GUARDED_BY(mutex_);
     /** Backends already warned about missing observer support, so
      *  profile() nags once per backend rather than per call. */
-    std::set<std::string> profileWarned_;
-    std::size_t flushEvery_;
-    std::map<std::string, std::uint64_t> simulatedByBackend_;
-    std::uint64_t simulated_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t loaded_ = 0;
-    std::uint64_t flushed_ = 0;
-    std::uint64_t migrated_ = 0;
-    std::uint64_t dropped_ = 0;
-    double simSeconds_ = 0.0;
+    std::set<std::string> profileWarned_ ADAPTSIM_GUARDED_BY(mutex_);
+    std::size_t flushEvery_ ADAPTSIM_GUARDED_BY(mutex_);
+    std::map<std::string, std::uint64_t> simulatedByBackend_
+        ADAPTSIM_GUARDED_BY(mutex_);
+    std::uint64_t simulated_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t hits_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t loaded_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t flushed_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t migrated_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t dropped_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    double simSeconds_ ADAPTSIM_GUARDED_BY(mutex_) = 0.0;
 };
 
 } // namespace adaptsim::harness

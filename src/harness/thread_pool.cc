@@ -81,7 +81,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -111,7 +111,7 @@ ThreadPool::runJobs(const std::function<void(std::size_t)> &fn,
             fn(i);
         } catch (...) {
             abort_.store(true, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
@@ -142,8 +142,9 @@ ThreadPool::workerLoop(unsigned worker_index)
         std::size_t n = 0;
         std::chrono::steady_clock::time_point submitted;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             wake_.wait(lock, [&] {
+                mutex_.assertHeld();
                 return stopping_ || generation_ != seen_generation;
             });
             if (stopping_)
@@ -170,7 +171,7 @@ ThreadPool::workerLoop(unsigned worker_index)
         }
 
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             remaining_ -= claimed;
             if (remaining_ == 0)
                 done_.notify_all();
@@ -231,9 +232,9 @@ ThreadPool::parallelFor(std::size_t n,
     }
 
     // One batch at a time; concurrent external callers queue here.
-    std::lock_guard<std::mutex> submit(submitMutex_);
+    MutexLock submit(submitMutex_);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         job_ = &fn;
         jobSize_ = n;
         batchSubmit_ = std::chrono::steady_clock::now();
@@ -247,8 +248,11 @@ ThreadPool::parallelFor(std::size_t n,
 
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait(lock, [&] { return remaining_ == 0; });
+        MutexLock lock(mutex_);
+        done_.wait(lock, [&] {
+            mutex_.assertHeld();
+            return remaining_ == 0;
+        });
         job_ = nullptr;
         jobSize_ = 0;
         error = firstError_;

@@ -17,12 +17,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace adaptsim::harness
 {
@@ -49,7 +49,8 @@ class ThreadPool
      *         skipped.  The pool stays usable afterwards.
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn)
+        ADAPTSIM_EXCLUDES(submitMutex_, mutex_);
 
     unsigned numThreads() const { return threads_; }
 
@@ -64,21 +65,26 @@ class ThreadPool
     std::vector<std::thread> workers_;
 
     /** Serializes concurrent external parallelFor callers. */
-    std::mutex submitMutex_;
+    Mutex submitMutex_ ADAPTSIM_ACQUIRED_BEFORE(mutex_);
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    const std::function<void(std::size_t)> *job_ = nullptr;
-    std::size_t jobSize_ = 0;
+    /** Guards the batch state below; wake_ signals workers about a
+     *  new batch (or shutdown), done_ signals the submitter that the
+     *  batch drained. */
+    Mutex mutex_;
+    CondVar wake_;
+    CondVar done_;
+    const std::function<void(std::size_t)> *job_
+        ADAPTSIM_GUARDED_BY(mutex_) = nullptr;
+    std::size_t jobSize_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
     /** Batch publish time, for the queue-wait metric. */
-    std::chrono::steady_clock::time_point batchSubmit_;
+    std::chrono::steady_clock::time_point batchSubmit_
+        ADAPTSIM_GUARDED_BY(mutex_);
     std::atomic<std::size_t> nextIndex_{0};
     std::atomic<bool> abort_{false};
-    std::size_t remaining_ = 0;
-    std::exception_ptr firstError_;
-    std::uint64_t generation_ = 0;
-    bool stopping_ = false;
+    std::size_t remaining_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr firstError_ ADAPTSIM_GUARDED_BY(mutex_);
+    std::uint64_t generation_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    bool stopping_ ADAPTSIM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace adaptsim::harness

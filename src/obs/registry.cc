@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/sync.hh"
 
 namespace adaptsim::obs
 {
@@ -47,12 +47,12 @@ struct Registry::Shard
     };
 
     /** Owner thread vs. merging reader; never writer vs. writer. */
-    std::mutex mutex;
-    std::vector<std::uint64_t> counters;
-    std::vector<Hist> hists;
+    mutable Mutex mutex;
+    std::vector<std::uint64_t> counters ADAPTSIM_GUARDED_BY(mutex);
+    std::vector<Hist> hists ADAPTSIM_GUARDED_BY(mutex);
 
     void
-    zero()
+    zero() ADAPTSIM_REQUIRES(mutex)
     {
         std::fill(counters.begin(), counters.end(), 0);
         for (auto &h : hists)
@@ -62,18 +62,25 @@ struct Registry::Shard
 
 struct Registry::State
 {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
 
     std::unordered_map<std::string, std::pair<Kind, std::size_t>>
-        names;
-    std::deque<std::unique_ptr<Counter>> counters;
-    std::deque<std::unique_ptr<Gauge>> gauges;
-    std::deque<std::unique_ptr<Histogram>> histograms;
-    std::vector<double> gaugeValues;
+        names ADAPTSIM_GUARDED_BY(mutex);
+    std::deque<std::unique_ptr<Counter>> counters
+        ADAPTSIM_GUARDED_BY(mutex);
+    std::deque<std::unique_ptr<Gauge>> gauges
+        ADAPTSIM_GUARDED_BY(mutex);
+    std::deque<std::unique_ptr<Histogram>> histograms
+        ADAPTSIM_GUARDED_BY(mutex);
+    std::vector<double> gaugeValues ADAPTSIM_GUARDED_BY(mutex);
 
-    std::vector<std::shared_ptr<Shard>> shards;
-    /** Totals inherited from exited threads (guarded by mutex). */
-    Shard retired;
+    std::vector<std::shared_ptr<Shard>> shards
+        ADAPTSIM_GUARDED_BY(mutex);
+    /** Totals inherited from exited threads.  The object is reached
+     *  only under the state mutex; its members additionally need its
+     *  own shard mutex, which is only ever acquired while the state
+     *  mutex is held (so the two-level order is acyclic). */
+    Shard retired ADAPTSIM_GUARDED_BY(mutex);
 };
 
 namespace
@@ -101,6 +108,7 @@ thread_local ThreadShards tls_shards;
 
 void
 mergeInto(Registry::Shard &into, const Registry::Shard &from)
+    ADAPTSIM_REQUIRES(into.mutex, from.mutex)
 {
     if (into.counters.size() < from.counters.size())
         into.counters.resize(from.counters.size(), 0);
@@ -129,9 +137,10 @@ ThreadShards::~ThreadShards()
         const auto state = e.state.lock();
         if (!state)
             continue;   // registry died first; nothing to keep
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         {
-            std::lock_guard<std::mutex> slock(e.shard->mutex);
+            MutexLock rlock(state->retired.mutex);
+            MutexLock slock(e.shard->mutex);
             mergeInto(state->retired, *e.shard);
         }
         auto &shards = state->shards;
@@ -171,7 +180,7 @@ Registry::localShard()
     }
     auto shard = std::make_shared<Shard>();
     {
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        MutexLock lock(state_->mutex);
         state_->shards.push_back(shard);
     }
     tls.entries.push_back(
@@ -184,7 +193,7 @@ Registry::localShard()
 Counter &
 Registry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->names.find(name);
     if (it != state_->names.end()) {
         if (it->second.first != Kind::Counter)
@@ -201,7 +210,7 @@ Registry::counter(const std::string &name)
 Gauge &
 Registry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->names.find(name);
     if (it != state_->names.end()) {
         if (it->second.first != Kind::Gauge)
@@ -225,7 +234,7 @@ Registry::histogram(const std::string &name,
     if (!std::is_sorted(bounds.begin(), bounds.end()))
         panic("obs histogram '", name, "' bounds must be ascending");
 
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->names.find(name);
     if (it != state_->names.end()) {
         if (it->second.first != Kind::Histogram)
@@ -243,7 +252,7 @@ Registry::histogram(const std::string &name,
 Counter *
 Registry::findCounter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->names.find(name);
     if (it == state_->names.end() ||
         it->second.first != Kind::Counter)
@@ -254,7 +263,7 @@ Registry::findCounter(const std::string &name)
 Histogram *
 Registry::findHistogram(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->names.find(name);
     if (it == state_->names.end() ||
         it->second.first != Kind::Histogram)
@@ -265,12 +274,15 @@ Registry::findHistogram(const std::string &name)
 void
 Registry::reset()
 {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     for (auto &shard : state_->shards) {
-        std::lock_guard<std::mutex> slock(shard->mutex);
+        MutexLock slock(shard->mutex);
         shard->zero();
     }
-    state_->retired.zero();
+    {
+        MutexLock rlock(state_->retired.mutex);
+        state_->retired.zero();
+    }
     std::fill(state_->gaugeValues.begin(),
               state_->gaugeValues.end(), 0.0);
 }
@@ -293,7 +305,7 @@ void
 Counter::add(std::uint64_t n)
 {
     auto &shard = owner_->localShard();
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.counters.size() <= id_)
         shard.counters.resize(id_ + 1, 0);
     shard.counters[id_] += n;
@@ -303,11 +315,15 @@ std::uint64_t
 Counter::value() const
 {
     const auto &state = *owner_->state_;
-    std::lock_guard<std::mutex> lock(state.mutex);
-    std::uint64_t total = state.retired.counters.size() > id_ ?
-        state.retired.counters[id_] : 0;
+    MutexLock lock(state.mutex);
+    std::uint64_t total = 0;
+    {
+        MutexLock rlock(state.retired.mutex);
+        if (state.retired.counters.size() > id_)
+            total = state.retired.counters[id_];
+    }
     for (const auto &shard : state.shards) {
-        std::lock_guard<std::mutex> slock(shard->mutex);
+        MutexLock slock(shard->mutex);
         if (shard->counters.size() > id_)
             total += shard->counters[id_];
     }
@@ -317,14 +333,14 @@ Counter::value() const
 void
 Gauge::set(double v)
 {
-    std::lock_guard<std::mutex> lock(owner_->state_->mutex);
+    MutexLock lock(owner_->state_->mutex);
     owner_->state_->gaugeValues[id_] = v;
 }
 
 double
 Gauge::value() const
 {
-    std::lock_guard<std::mutex> lock(owner_->state_->mutex);
+    MutexLock lock(owner_->state_->mutex);
     return owner_->state_->gaugeValues[id_];
 }
 
@@ -336,7 +352,7 @@ Histogram::record(double v)
         bounds_.begin();
 
     auto &shard = owner_->localShard();
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.hists.size() <= id_)
         shard.hists.resize(id_ + 1);
     auto &h = shard.hists[id_];
@@ -359,6 +375,9 @@ Histogram::stats() const
     double hi = -kInf;
 
     const auto fold = [&](const Registry::Shard &shard) {
+        // Every caller below holds shard.mutex; the lambda body is
+        // analysed as a separate function, so assert it.
+        shard.mutex.assertHeld();
         if (shard.hists.size() <= id_)
             return;
         const auto &h = shard.hists[id_];
@@ -371,10 +390,13 @@ Histogram::stats() const
     };
 
     const auto &state = *owner_->state_;
-    std::lock_guard<std::mutex> lock(state.mutex);
-    fold(state.retired);
+    MutexLock lock(state.mutex);
+    {
+        MutexLock rlock(state.retired.mutex);
+        fold(state.retired);
+    }
     for (const auto &shard : state.shards) {
-        std::lock_guard<std::mutex> slock(shard->mutex);
+        MutexLock slock(shard->mutex);
         fold(*shard);
     }
     if (out.count > 0) {
@@ -421,7 +443,7 @@ Registry::snapshot() const
     std::vector<const Gauge *> gauges;
     std::vector<const Histogram *> hists;
     {
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        MutexLock lock(state_->mutex);
         for (const auto &c : state_->counters)
             counters.push_back(c.get());
         for (const auto &g : state_->gauges)

@@ -99,7 +99,7 @@ TraceWriter::completeEvent(std::string_view name,
                            Clock::time_point start,
                            Clock::time_point end)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (finished_)
         return;
     Event e;
@@ -114,7 +114,7 @@ TraceWriter::completeEvent(std::string_view name,
 void
 TraceWriter::nameCurrentThread(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (finished_)
         return;
     Event e;
@@ -129,7 +129,7 @@ TraceWriter::nameCurrentThread(const std::string &name)
 std::size_t
 TraceWriter::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return events_.size();
 }
 
@@ -138,7 +138,7 @@ TraceWriter::finish()
 {
     std::vector<Event> events;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (finished_)
             return true;
         finished_ = true;

@@ -18,12 +18,13 @@
 #define ADAPTSIM_OBS_TRACE_HH
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace adaptsim::obs
 {
@@ -75,15 +76,16 @@ class TraceWriter
     };
 
     /** Small stable id for the calling thread (mutex_ held). */
-    int tidLocked();
+    int tidLocked() ADAPTSIM_REQUIRES(mutex_);
 
     std::string path_;
     Clock::time_point epoch_;
 
-    mutable std::mutex mutex_;
-    std::vector<Event> events_;
-    std::unordered_map<std::thread::id, int> tids_;
-    bool finished_ = false;
+    mutable Mutex mutex_;
+    std::vector<Event> events_ ADAPTSIM_GUARDED_BY(mutex_);
+    std::unordered_map<std::thread::id, int> tids_
+        ADAPTSIM_GUARDED_BY(mutex_);
+    bool finished_ ADAPTSIM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace adaptsim::obs

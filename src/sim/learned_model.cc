@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <mutex>
 
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "common/sync.hh"
 
 namespace adaptsim::sim
 {
@@ -47,9 +47,10 @@ class LineFilter
  *  mid-run. */
 struct SurrogateState
 {
-    std::mutex mutex;
-    std::shared_ptr<const ml::Surrogate> surrogate;
-    bool envTried = false;
+    Mutex mutex;
+    std::shared_ptr<const ml::Surrogate> surrogate
+        ADAPTSIM_GUARDED_BY(mutex);
+    bool envTried ADAPTSIM_GUARDED_BY(mutex) = false;
 };
 
 SurrogateState &
@@ -86,7 +87,7 @@ class SummaryCache
                 (op.taken ? 1 : 0));
         }
 
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (auto &e : entries_) {
             if (e.valid && e.hash == h)
                 return e.summary;
@@ -114,9 +115,9 @@ class SummaryCache
         TraceSummary summary;
     };
 
-    std::mutex mutex_;
-    std::array<Entry, 64> entries_;
-    std::size_t next_ = 0;
+    Mutex mutex_;
+    std::array<Entry, 64> entries_ ADAPTSIM_GUARDED_BY(mutex_);
+    std::size_t next_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
 };
 
 SummaryCache &
@@ -359,7 +360,7 @@ void
 setLearnedSurrogate(ml::Surrogate surrogate)
 {
     auto &state = surrogateState();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     state.surrogate = surrogate.trained()
                           ? std::make_shared<const ml::Surrogate>(
                                 std::move(surrogate))
@@ -371,7 +372,7 @@ std::shared_ptr<const ml::Surrogate>
 learnedSurrogateSnapshot()
 {
     auto &state = surrogateState();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     if (!state.surrogate && !state.envTried) {
         state.envTried = true;
         const std::string path = surrogatePath();

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/sync.hh"
+
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/obs.hh"
@@ -33,8 +35,9 @@ struct RegistryEntry
 
 struct ModelRegistry
 {
-    std::mutex mutex;
-    std::map<std::string, RegistryEntry> entries;
+    Mutex mutex;
+    std::map<std::string, RegistryEntry> entries
+        ADAPTSIM_GUARDED_BY(mutex);
 };
 
 ModelRegistry &
@@ -46,6 +49,7 @@ registry()
 
 void
 registerLocked(ModelRegistry &r, std::unique_ptr<PerfModel> model)
+    ADAPTSIM_REQUIRES(r.mutex)
 {
     const std::string name = model->name();
     RegistryEntry entry;
@@ -71,7 +75,7 @@ ensureBuiltins(ModelRegistry &r)
 {
     static std::once_flag once;
     std::call_once(once, [&r]() {
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         registerLocked(r, std::make_unique<CycleLevelModel>());
         registerLocked(r, std::make_unique<IntervalModel>());
         registerLocked(r, std::make_unique<LearnedModel>());
@@ -84,7 +88,7 @@ findEntry(const std::string &name)
 {
     ModelRegistry &r = registry();
     ensureBuiltins(r);
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     const auto it = r.entries.find(name);
     return it == r.entries.end() ? nullptr : &it->second;
 }
@@ -110,7 +114,7 @@ registerPerfModel(std::unique_ptr<PerfModel> model)
 {
     ModelRegistry &r = registry();
     ensureBuiltins(r);
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     registerLocked(r, std::move(model));
 }
 
@@ -144,7 +148,7 @@ perfModelNames()
 {
     ModelRegistry &r = registry();
     ensureBuiltins(r);
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::vector<std::string> names;
     names.reserve(r.entries.size());
     for (const auto &[name, entry] : r.entries)

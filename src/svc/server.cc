@@ -93,11 +93,15 @@ struct EvalServer::Client
 
     /** Guards send syscalls plus sendClosed/fdClosed, so a send
      *  never races the fd's close. */
-    std::mutex sendMutex;
-    bool sendClosed = false; ///< a send failed; skip further ones
-    bool fdClosed = false;   ///< the fd has been ::close()d
+    Mutex sendMutex;
+    /// a send failed; skip further ones
+    bool sendClosed ADAPTSIM_GUARDED_BY(sendMutex) = false;
+    /// the fd has been ::close()d
+    bool fdClosed ADAPTSIM_GUARDED_BY(sendMutex) = false;
 
-    // Guarded by the server's mutex_.
+    // Guarded by the server's mutex_ — a capability of another
+    // object, which the static analysis cannot express from here,
+    // so these two stay comment-documented (TSan still covers them).
     std::size_t inFlight = 0; ///< accepted, not yet replied
     bool dead = false;        ///< out of the poll set; reap when idle
 };
@@ -175,8 +179,11 @@ EvalServer::requestStop()
 void
 EvalServer::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    stopCv_.wait(lock, [&] { return stopping_; });
+    MutexLock lock(mutex_);
+    stopCv_.wait(lock, [&] {
+        mutex_.assertHeld();
+        return stopping_;
+    });
 }
 
 void
@@ -198,7 +205,7 @@ EvalServer::stop()
     if (ioThread_.joinable())
         ioThread_.join();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     queueCv_.notify_all();
@@ -208,7 +215,7 @@ EvalServer::stop()
 
     // Both threads are gone; nothing else touches the fds now.
     for (auto &[fd, client] : clients_) {
-        std::lock_guard<std::mutex> send_lock(client->sendMutex);
+        MutexLock send_lock(client->sendMutex);
         if (!client->fdClosed) {
             ::close(client->fd);
             client->fdClosed = true;
@@ -267,8 +274,7 @@ EvalServer::ioLoop()
             drainFrames(client);
             bool poisoned;
             {
-                std::lock_guard<std::mutex> send_lock(
-                    client->sendMutex);
+                MutexLock send_lock(client->sendMutex);
                 poisoned = client->sendClosed;
             }
             if (poisoned)
@@ -276,7 +282,7 @@ EvalServer::ioLoop()
         }
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     queueCv_.notify_all();
@@ -332,7 +338,7 @@ EvalServer::drainFrames(const std::shared_ptr<Client> &client)
     bool enqueued = false;
     bool poison = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         std::string payload;
         for (;;) {
             const auto res = client->frames.next(payload);
@@ -417,7 +423,7 @@ EvalServer::drainFrames(const std::shared_ptr<Client> &client)
     if (poison) {
         // The stream's frame boundary is unrecoverable; make the
         // I/O loop drop the connection.
-        std::lock_guard<std::mutex> send_lock(client->sendMutex);
+        MutexLock send_lock(client->sendMutex);
         client->sendClosed = true;
     }
     if (enqueued)
@@ -432,12 +438,12 @@ EvalServer::dropClient(const std::shared_ptr<Client> &client)
              svcMetrics().clients.set(double(clients_.size()));)
     bool close_now;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         client->dead = true;
         close_now = client->inFlight == 0;
     }
     if (close_now) {
-        std::lock_guard<std::mutex> send_lock(client->sendMutex);
+        MutexLock send_lock(client->sendMutex);
         if (!client->fdClosed) {
             ::close(client->fd);
             client->fdClosed = true;
@@ -453,9 +459,11 @@ EvalServer::dispatchLoop()
     for (;;) {
         Batch batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queueCv_.wait(lock,
-                          [&] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            queueCv_.wait(lock, [&] {
+                mutex_.assertHeld();
+                return stopping_ || !queue_.empty();
+            });
             if (stopping_)
                 return;
             auto it = queue_.begin();
@@ -510,7 +518,7 @@ EvalServer::processBatch(Batch &batch)
         // pipelining at exactly the cap must not race a stale
         // in-flight count into a spurious TooManyInFlight shed.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --p.client->inFlight;
         }
         sendToClient(p.client, encodeFrame(reply));
@@ -520,12 +528,11 @@ EvalServer::processBatch(Batch &batch)
                      .add(1);)
         bool close_now;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             close_now = p.client->dead && p.client->inFlight == 0;
         }
         if (close_now) {
-            std::lock_guard<std::mutex> send_lock(
-                p.client->sendMutex);
+            MutexLock send_lock(p.client->sendMutex);
             if (!p.client->fdClosed) {
                 ::close(p.client->fd);
                 p.client->fdClosed = true;
@@ -538,7 +545,7 @@ void
 EvalServer::sendToClient(const std::shared_ptr<Client> &client,
                          const std::string &frame)
 {
-    std::lock_guard<std::mutex> send_lock(client->sendMutex);
+    MutexLock send_lock(client->sendMutex);
     if (client->sendClosed || client->fdClosed)
         return;
     if (!sendAll(client->fd, frame))

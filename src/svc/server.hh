@@ -35,17 +35,16 @@
 #ifndef ADAPTSIM_SVC_SERVER_HH
 #define ADAPTSIM_SVC_SERVER_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/env.hh"
+#include "common/sync.hh"
 #include "harness/repository.hh"
 #include "svc/protocol.hh"
 
@@ -100,7 +99,7 @@ class EvalServer
 
     /** Block until the server has stopped serving (requestStop()
      *  from another thread or a signal handler ends the wait). */
-    void wait();
+    void wait() ADAPTSIM_EXCLUDES(mutex_);
 
     /** Full shutdown: requestStop(), join threads, close sockets,
      *  unlink the socket path.  Idempotent. */
@@ -168,12 +167,12 @@ class EvalServer
      *  with one shared condition variable a notify_one() for a new
      *  batch can land on a thread blocked in wait() (whose predicate
      *  is still false), and the dispatch thread never wakes. */
-    std::mutex mutex_;
-    std::condition_variable queueCv_;
-    std::condition_variable stopCv_;
-    bool stopping_ = false;
-    std::map<std::string, Batch> queue_;
-    std::size_t queueDepth_ = 0;
+    Mutex mutex_;
+    CondVar queueCv_;
+    CondVar stopCv_;
+    bool stopping_ ADAPTSIM_GUARDED_BY(mutex_) = false;
+    std::map<std::string, Batch> queue_ ADAPTSIM_GUARDED_BY(mutex_);
+    std::size_t queueDepth_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
 
     /** Live connections, keyed by fd (I/O thread only). */
     std::unordered_map<int, std::shared_ptr<Client>> clients_;

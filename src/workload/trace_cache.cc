@@ -48,7 +48,7 @@ TraceCache::get(const Workload &wl, std::uint64_t start,
     // workers asking for the same interval (the common gather
     // pattern) block briefly and then hit, instead of all paying
     // the generation cost in parallel.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
         ++stats_.hits;
@@ -76,35 +76,35 @@ TraceCache::get(const Workload &wl, std::uint64_t start,
 std::size_t
 TraceCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return map_.size();
 }
 
 std::uint64_t
 TraceCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_.hits;
 }
 
 std::uint64_t
 TraceCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_.misses;
 }
 
 std::uint64_t
 TraceCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_.evictions;
 }
 
 TraceCacheStats
 TraceCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hh"
 #include "isa/micro_op.hh"
 #include "workload/workload.hh"
 
@@ -107,11 +107,13 @@ class TraceCache
     };
 
     std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_;  ///< front = most recent
+    mutable Mutex mutex_;
+    /// front = most recent
+    std::list<Entry> lru_ ADAPTSIM_GUARDED_BY(mutex_);
     std::unordered_map<TraceKey, std::list<Entry>::iterator,
-                       TraceKeyHash> map_;
-    TraceCacheStats stats_;
+                       TraceKeyHash>
+        map_ ADAPTSIM_GUARDED_BY(mutex_);
+    TraceCacheStats stats_ ADAPTSIM_GUARDED_BY(mutex_);
 };
 
 } // namespace adaptsim::workload

@@ -12,12 +12,17 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "lint_engine.hh"
 
 using adaptsim::lint::Diagnostic;
+using adaptsim::lint::lintFileInto;
 using adaptsim::lint::lintSource;
 using adaptsim::lint::lintTree;
 using adaptsim::lint::render;
+using adaptsim::lint::renderGithub;
+using adaptsim::lint::ruleCatalogue;
+using adaptsim::lint::TreeResult;
 
 namespace
 {
@@ -198,10 +203,139 @@ TEST(Lint, DigitSeparatorIsNotACharLiteral)
     EXPECT_EQ(d[0].rule, "determinism");
 }
 
+TEST(Lint, MutexAnnotatedFlagsRawSyncDeclarations)
+{
+    const auto d = lint("src/obs/x.cc", "std::mutex mutex_;\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "mutex-annotated");
+    EXPECT_EQ(d[0].line, 1u);
+
+    EXPECT_EQ(lint("src/svc/x.hh",
+                   "#pragma once\nstd::shared_mutex rw_;\n")[0]
+                  .rule,
+              "mutex-annotated");
+    EXPECT_EQ(
+        lint("src/svc/x.cc", "std::condition_variable cv_;\n")[0].rule,
+        "mutex-annotated");
+    EXPECT_EQ(lint("src/svc/x.cc",
+                   "std::condition_variable_any cv_;\n")[0]
+                  .rule,
+              "mutex-annotated");
+    EXPECT_EQ(lint("src/a/x.cc", "mutable std::mutex m_;\n")[0].rule,
+              "mutex-annotated");
+}
+
+TEST(Lint, MutexAnnotatedNegatives)
+{
+    // Template arguments and references are uses, not declarations.
+    EXPECT_TRUE(lint("src/a/x.cc",
+                     "std::unique_lock<std::mutex> lock(m_);\n")
+                    .empty());
+    EXPECT_TRUE(
+        lint("src/a/x.cc", "std::lock_guard<std::mutex> g(m_);\n")
+            .empty());
+    EXPECT_TRUE(lint("src/a/x.cc", "std::mutex &ref = m_;\n").empty());
+    // Only src/** is in scope: tests and bench may use raw types.
+    EXPECT_TRUE(lint("tests/x.cc", "std::mutex m_;\n").empty());
+    EXPECT_TRUE(lint("bench/x.cc", "std::condition_variable cv_;\n")
+                    .empty());
+    // A declaration carrying a thread-safety annotation is the
+    // documented escape for types the wrappers cannot cover.
+    EXPECT_TRUE(lint("src/a/x.cc",
+                     "std::mutex m_ ADAPTSIM_GUARDED_BY(x_);\n")
+                    .empty());
+    // lint:allow on the declaration line (the wrappers' own raw
+    // members in common/sync.hh use this).
+    EXPECT_TRUE(
+        lint("src/common/sync.hh",
+             "#pragma once\n"
+             "mutable std::mutex raw_; // lint:allow(mutex-annotated)\n")
+            .empty());
+}
+
+TEST(Lint, CondvarPredicateFlagsBareWait)
+{
+    const auto d =
+        lint("src/a/x.cc", "cv_.wait(lock);\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "condvar-predicate");
+    EXPECT_EQ(d[0].line, 1u);
+
+    // Arrow calls, lock-ish argument spellings, cv-ish receivers.
+    EXPECT_EQ(lint("src/a/x.cc", "queueCv_->wait(lk);\n")[0].rule,
+              "condvar-predicate");
+    EXPECT_EQ(lint("tests/x.cc", "cond.wait(guard);\n")[0].rule,
+              "condvar-predicate");
+    // A cv-ish receiver flags even with an unrecognised argument.
+    EXPECT_EQ(lint("src/a/x.cc", "stopCv_.wait(x);\n")[0].rule,
+              "condvar-predicate");
+    // Argument lists spanning lines are still one call.
+    const auto multi = lint("src/a/x.cc", "done_.wait(\n    lock);\n");
+    ASSERT_EQ(multi.size(), 1u);
+    EXPECT_EQ(multi[0].line, 1u);
+}
+
+TEST(Lint, CondvarPredicateNegatives)
+{
+    // The predicate overload has two arguments.
+    EXPECT_TRUE(
+        lint("src/a/x.cc",
+             "cv_.wait(lock, [&] { return ready_; });\n")
+            .empty());
+    EXPECT_TRUE(lint("src/a/x.cc",
+                     "wake_.wait(lock, [&] {\n"
+                     "    return stopping_ || generation_ != seen;\n"
+                     "});\n")
+                    .empty());
+    // Unrelated wait() members: no argument, or an argument that is
+    // neither a lock nor on a cv-ish receiver.
+    EXPECT_TRUE(lint("src/a/x.cc", "server.wait();\n").empty());
+    EXPECT_TRUE(lint("src/a/x.cc", "client.wait(id);\n").empty());
+    // Free functions and different member names don't match.
+    EXPECT_TRUE(lint("src/a/x.cc", "wait(lock);\n").empty());
+    EXPECT_TRUE(
+        lint("src/a/x.cc", "cv_.wait_for(lock, 1ms);\n").empty());
+    // Suppressible like any other rule.
+    EXPECT_TRUE(
+        lint("src/a/x.cc",
+             "cv_.wait(lock); // lint:allow(condvar-predicate)\n")
+            .empty());
+}
+
 TEST(Lint, RenderFormat)
 {
     const Diagnostic d{"src/a.cc", 12, "env", "msg"};
     EXPECT_EQ(render(d), "src/a.cc:12: [env] msg");
+}
+
+TEST(Lint, RenderGithubFormat)
+{
+    const Diagnostic d{"src/a.cc", 12, "env", "msg"};
+    EXPECT_EQ(renderGithub(d),
+              "::error file=src/a.cc,line=12,title=env::[env] msg");
+    // Workflow-command escaping: % and newlines in the data, plus
+    // ':' and ',' in property values.
+    const Diagnostic tricky{"src/a,b.cc", 3, "env", "50% done\n"};
+    EXPECT_EQ(renderGithub(tricky),
+              "::error file=src/a%2Cb.cc,line=3,title=env::"
+              "[env] 50%25 done%0A");
+}
+
+TEST(Lint, RuleCatalogueListsEveryRule)
+{
+    const auto &rules = ruleCatalogue();
+    std::vector<std::string> names;
+    for (const auto &r : rules) {
+        names.push_back(r.name);
+        EXPECT_FALSE(r.description.empty()) << r.name;
+    }
+    const std::vector<std::string> expected = {
+        "determinism",        "env",
+        "logging",            "header-guard",
+        "header-using-namespace", "mutex-annotated",
+        "condvar-predicate",
+    };
+    EXPECT_EQ(names, expected);
 }
 
 TEST(Lint, MultipleViolationsReportedInLineOrder)
@@ -243,4 +377,65 @@ TEST(Lint, TreeWalkRejectsMissingSubdir)
 {
     EXPECT_THROW(lintTree("/nonexistent-root-xyz", {"src"}),
                  std::runtime_error);
+}
+
+TEST(Lint, UnreadableFileIsReportedAndScanContinues)
+{
+    // An unreadable file must not abort the scan: lintFileInto
+    // records the path in TreeResult::errors and later files still
+    // get linted.  (Exercised via a vanished path, which fails the
+    // same open; permission bits are unreliable when running as
+    // root.)
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(testing::TempDir()) / "adaptsim_lint_unreadable";
+    fs::remove_all(root);
+    fs::create_directories(root / "src" / "uarch");
+    std::ofstream(root / "src" / "uarch" / "bad.cc")
+        << "int f() { return rand(); }\n";
+
+    TreeResult res;
+    lintFileInto(root.string(), "src/uarch/gone.cc", res);
+    lintFileInto(root.string(), "src/uarch/bad.cc", res);
+    ASSERT_EQ(res.errors.size(), 1u);
+    EXPECT_NE(res.errors[0].find("src/uarch/gone.cc"),
+              std::string::npos);
+    EXPECT_EQ(res.filesScanned, 1u);
+    ASSERT_EQ(res.diagnostics.size(), 1u);
+    EXPECT_EQ(res.diagnostics[0].file, "src/uarch/bad.cc");
+    fs::remove_all(root);
+}
+
+// thread_annotations.hh must compile to *nothing* without clang, so
+// the GCC build is byte-identical to an unannotated tree.  Stringify
+// after expansion: an empty expansion stringifies to "" (sizeof 1).
+#define ADAPTSIM_TEST_STR2(x) #x
+#define ADAPTSIM_TEST_STR(x) ADAPTSIM_TEST_STR2(x)
+
+TEST(ThreadAnnotations, MacrosCompileOutWithoutClang)
+{
+#if defined(__clang__)
+    // Under clang the macros expand to real attributes.
+    EXPECT_GT(
+        sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_GUARDED_BY(m))), 1u);
+#else
+    EXPECT_EQ(
+        sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_GUARDED_BY(m))), 1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_REQUIRES(m))), 1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_EXCLUDES(m))), 1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_CAPABILITY("x"))),
+              1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_SCOPED_CAPABILITY)),
+              1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_ACQUIRE(m))), 1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_RELEASE(m))), 1u);
+    EXPECT_EQ(
+        sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_ACQUIRED_BEFORE(m))), 1u);
+    EXPECT_EQ(
+        sizeof(ADAPTSIM_TEST_STR(ADAPTSIM_ASSERT_CAPABILITY(m))),
+        1u);
+    EXPECT_EQ(sizeof(ADAPTSIM_TEST_STR(
+                  ADAPTSIM_NO_THREAD_SAFETY_ANALYSIS)),
+              1u);
+#endif
 }

@@ -208,6 +208,7 @@ struct FileClass
     bool deterministicScope = false; ///< simulation core dirs
     bool envExempt = false;          ///< the one sanctioned getenv site
     bool loggingExempt = false;      ///< the logging layer + this tool
+    bool syncScope = false;          ///< src/** (annotated wrappers)
 };
 
 FileClass
@@ -215,6 +216,7 @@ classify(const std::string &path)
 {
     FileClass fc;
     fc.header = path.ends_with(".hh") || path.ends_with(".hpp");
+    fc.syncScope = startsWith(path, "src/");
     fc.deterministicScope = startsWith(path, "src/uarch/") ||
                             startsWith(path, "src/ml/") ||
                             startsWith(path, "src/workload/") ||
@@ -240,6 +242,174 @@ kDeterminismBans[] = {
     {"mt19937", false, "std::mt19937"},
     {"mt19937_64", false, "std::mt19937_64"},
 };
+
+/** True when ADAPTSIM_ appears at an identifier boundary — i.e. the
+ *  line carries some thread-safety annotation macro. */
+bool
+hasAnnotationToken(const std::string &code)
+{
+    std::size_t pos = 0;
+    while ((pos = code.find("ADAPTSIM_", pos)) != std::string::npos) {
+        if (pos == 0 || !isIdent(code[pos - 1]))
+            return true;
+        pos += 1;
+    }
+    return false;
+}
+
+/** Raw synchronisation types that must come from common/sync.hh. */
+const char *kRawSyncTypes[] = {
+    "mutex",
+    "shared_mutex",
+    "condition_variable",
+    "condition_variable_any",
+};
+
+/**
+ * True when @p code declares a variable/member of a raw std:: sync
+ * type: `std::<type>` at an identifier boundary with a declarator
+ * (identifier start) as the next non-space character.  Template
+ * arguments (`std::unique_lock<std::mutex>`) and references are
+ * therefore never matched — only actual storage declarations.
+ */
+bool
+declaresRawSync(const std::string &code, std::string &type)
+{
+    for (const char *t : kRawSyncTypes) {
+        const std::string needle = std::string("std::") + t;
+        std::size_t pos = 0;
+        while ((pos = code.find(needle, pos)) != std::string::npos) {
+            const bool pre =
+                pos == 0 ||
+                (!isIdent(code[pos - 1]) && code[pos - 1] != ':');
+            std::size_t end = pos + needle.size();
+            const bool post = end >= code.size() || !isIdent(code[end]);
+            if (pre && post) {
+                std::size_t j = end;
+                while (j < code.size() &&
+                       (code[j] == ' ' || code[j] == '\t'))
+                    ++j;
+                if (j < code.size() &&
+                    (std::isalpha(
+                         static_cast<unsigned char>(code[j])) ||
+                     code[j] == '_')) {
+                    type = needle;
+                    return true;
+                }
+            }
+            pos = end;
+        }
+    }
+    return false;
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/**
+ * condvar-predicate: flag member calls `recv.wait(single-arg)` /
+ * `recv->wait(single-arg)` that look like condition-variable waits —
+ * the receiver name smells like a condvar ("cv"/"cond") or the lone
+ * argument smells like a lock ("lock"/"guard"/`lk`).  The predicate
+ * overload takes two arguments and so never matches; unrelated
+ * waits (`server.wait()`, `client.wait(id)`) don't either.
+ * Argument lists may span lines.
+ */
+void
+checkCondvarPredicate(const std::string &path,
+                      const std::vector<ScanLine> &lines,
+                      std::vector<Diagnostic> &out)
+{
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &code = lines[li].code;
+        std::size_t pos = 0;
+        while ((pos = code.find("wait", pos)) != std::string::npos) {
+            const std::size_t end = pos + 4;
+            if ((end < code.size() && isIdent(code[end])) ||
+                (pos > 0 && isIdent(code[pos - 1]))) {
+                pos = end;
+                continue;
+            }
+            // Must be a member call: receiver then `.` or `->`.
+            std::size_t recvEnd; // one past the receiver's last char
+            if (pos >= 1 && code[pos - 1] == '.')
+                recvEnd = pos - 1;
+            else if (pos >= 2 && code[pos - 2] == '-' &&
+                     code[pos - 1] == '>')
+                recvEnd = pos - 2;
+            else {
+                pos = end;
+                continue;
+            }
+            std::size_t j = end;
+            while (j < code.size() && code[j] == ' ')
+                ++j;
+            if (j >= code.size() || code[j] != '(') {
+                pos = end;
+                continue;
+            }
+            std::size_t recvBegin = recvEnd;
+            while (recvBegin > 0 && isIdent(code[recvBegin - 1]))
+                --recvBegin;
+            const std::string recv =
+                code.substr(recvBegin, recvEnd - recvBegin);
+
+            // Collect the argument list, possibly across lines,
+            // counting top-level commas.
+            std::string args;
+            int depth = 1;
+            std::size_t commas = 0;
+            bool closed = false;
+            std::size_t ci = j + 1;
+            for (std::size_t cli = li;
+                 cli < lines.size() && !closed; ++cli, ci = 0) {
+                const std::string &c2 = lines[cli].code;
+                for (; ci < c2.size() && !closed; ++ci) {
+                    const char ch = c2[ci];
+                    if (ch == '(' || ch == '[' || ch == '{') {
+                        ++depth;
+                    } else if (ch == ')' || ch == ']' || ch == '}') {
+                        if (--depth == 0) {
+                            closed = true;
+                            break;
+                        }
+                    } else if (ch == ',' && depth == 1) {
+                        ++commas;
+                    }
+                    args += ch;
+                }
+                args += ' '; // line break separates tokens
+            }
+
+            const std::string argText = trim(args);
+            if (closed && commas == 0 && !argText.empty()) {
+                const std::string recvL = toLower(recv);
+                const std::string argL = toLower(argText);
+                const bool cvish =
+                    recvL.find("cv") != std::string::npos ||
+                    recvL.find("cond") != std::string::npos;
+                const bool lockish =
+                    argL.find("lock") != std::string::npos ||
+                    argL.find("guard") != std::string::npos ||
+                    hasToken(argText, "lk");
+                if (cvish || lockish)
+                    out.push_back(
+                        {path, li + 1, "condvar-predicate",
+                         "condition-variable wait without a "
+                         "predicate is prone to lost and spurious "
+                         "wakeups; use the predicate overload "
+                         "(CondVar::wait(lock, pred))"});
+            }
+            pos = end;
+        }
+    }
+}
 
 void
 checkHeaderGuard(const std::string &path,
@@ -338,6 +508,83 @@ render(const Diagnostic &d)
            "] " + d.message;
 }
 
+namespace
+{
+
+/** Escape a workflow-command message (data part after ::). */
+std::string
+githubEscapeData(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '%')
+            out += "%25";
+        else if (c == '\r')
+            out += "%0D";
+        else if (c == '\n')
+            out += "%0A";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Escape a workflow-command property value (file=, title=). */
+std::string
+githubEscapeProp(const std::string &s)
+{
+    std::string out;
+    for (const char c : githubEscapeData(s)) {
+        if (c == ':')
+            out += "%3A";
+        else if (c == ',')
+            out += "%2C";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderGithub(const Diagnostic &d)
+{
+    return "::error file=" + githubEscapeProp(d.file) +
+           ",line=" + std::to_string(d.line) +
+           ",title=" + githubEscapeProp(d.rule) +
+           "::" + githubEscapeData("[" + d.rule + "] " + d.message);
+}
+
+const std::vector<RuleInfo> &
+ruleCatalogue()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"determinism",
+         "no rand()/srand()/std::random_device/time()/system_clock/"
+         "std::mt19937 in the simulation core; randomness flows "
+         "through common/rng"},
+        {"env",
+         "std::getenv only inside src/common/env.cc; everything else "
+         "reads the environment through the common/env helpers"},
+        {"logging",
+         "no raw stderr writes outside common/logging.hh; use "
+         "panic/fatal/warn/inform or lockedWrite"},
+        {"header-guard",
+         "every header starts with #pragma once or a matching "
+         "#ifndef/#define pair"},
+        {"header-using-namespace",
+         "no `using namespace` at namespace scope in a header"},
+        {"mutex-annotated",
+         "no raw std::mutex/std::shared_mutex/std::condition_variable "
+         "declarations under src/; use the annotated wrappers in "
+         "common/sync.hh"},
+        {"condvar-predicate",
+         "condition-variable wait() must use the predicate overload"},
+    };
+    return rules;
+}
+
 std::vector<Diagnostic>
 lintSource(const std::string &path, const std::string &text)
 {
@@ -381,7 +628,21 @@ lintSource(const std::string &path, const std::string &text)
                      "raw stderr write; use panic/fatal/warn/inform "
                      "or lockedWrite from common/logging.hh"});
         }
+        if (fc.syncScope) {
+            std::string type;
+            if (declaresRawSync(code, type) &&
+                !hasAnnotationToken(code))
+                diags.push_back(
+                    {path, ln, "mutex-annotated",
+                     "raw " + type +
+                         " declaration; use the annotated wrappers "
+                         "from common/sync.hh (Mutex / SharedMutex / "
+                         "CondVar) so the clang thread-safety build "
+                         "can see the lock"});
+        }
     }
+
+    checkCondvarPredicate(path, lines, diags);
 
     if (fc.header) {
         checkHeaderGuard(path, lines, diags);
@@ -404,6 +665,25 @@ lintSource(const std::string &path, const std::string &text)
                          return a.line < b.line;
                      });
     return kept;
+}
+
+void
+lintFileInto(const std::string &root, const std::string &rel,
+             TreeResult &res)
+{
+    namespace fs = std::filesystem;
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+        res.errors.push_back("cannot read " + rel);
+        return;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    ++res.filesScanned;
+    auto diags = lintSource(rel, ss.str());
+    res.diagnostics.insert(res.diagnostics.end(),
+                           std::make_move_iterator(diags.begin()),
+                           std::make_move_iterator(diags.end()));
 }
 
 TreeResult
@@ -431,18 +711,8 @@ lintTree(const std::string &root,
         }
     }
     std::sort(files.begin(), files.end());
-    for (const std::string &rel : files) {
-        std::ifstream in(fs::path(root) / rel, std::ios::binary);
-        if (!in)
-            throw std::runtime_error("lint: cannot read " + rel);
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        ++res.filesScanned;
-        auto diags = lintSource(rel, ss.str());
-        res.diagnostics.insert(res.diagnostics.end(),
-                               std::make_move_iterator(diags.begin()),
-                               std::make_move_iterator(diags.end()));
-    }
+    for (const std::string &rel : files)
+        lintFileInto(root, rel, res);
     return res;
 }
 

@@ -23,6 +23,14 @@
  *                           a matching #ifndef/#define pair
  *   header-using-namespace  no `using namespace` at namespace scope
  *                           in a header
+ *   mutex-annotated         no raw std::mutex / std::shared_mutex /
+ *                           std::condition_variable declarations
+ *                           under src/ — use the annotated wrappers
+ *                           in common/sync.hh so the clang
+ *                           thread-safety build can see the lock
+ *   condvar-predicate       condition-variable wait() must use the
+ *                           predicate overload; a bare wait(lock)
+ *                           invites lost/spurious-wakeup bugs
  *
  * Scanning is comment- and string-literal-aware: banned tokens inside
  * comments, string literals, char literals, and raw strings are never
@@ -56,6 +64,21 @@ struct Diagnostic
 /** Render as the canonical "file:line: [rule] message" form. */
 std::string render(const Diagnostic &d);
 
+/** Render as a GitHub Actions workflow command
+ *  (::error file=...,line=...::message) so violations annotate the
+ *  offending lines in pull-request diffs. */
+std::string renderGithub(const Diagnostic &d);
+
+/** One entry of the rule catalogue (--list-rules). */
+struct RuleInfo
+{
+    std::string name;        ///< rule identifier
+    std::string description; ///< one-line summary
+};
+
+/** Every rule the engine enforces, in stable display order. */
+const std::vector<RuleInfo> &ruleCatalogue();
+
 /**
  * Lint one translation unit.  @p path must be repo-relative with
  * forward slashes (it selects which rules apply and which exemptions
@@ -69,13 +92,27 @@ struct TreeResult
 {
     std::vector<Diagnostic> diagnostics;
     std::size_t filesScanned = 0;
+    /** I/O failures ("cannot read <path>"); scanning continued past
+     *  them but the run as a whole must fail. */
+    std::vector<std::string> errors;
 };
+
+/**
+ * Lint the single file @p rel (relative to @p root), appending its
+ * diagnostics to @p res.  An unreadable file is recorded in
+ * res.errors rather than thrown, so one bad file cannot mask
+ * violations in the rest of the tree.
+ */
+void lintFileInto(const std::string &root, const std::string &rel,
+                  TreeResult &res);
 
 /**
  * Walk @p subdirs (relative to @p root) recursively and lint every
  * .cc/.hh/.cpp/.hpp file, in sorted path order for deterministic
  * output.  Missing subdirs are an error (throws std::runtime_error),
- * as a misspelt directory would otherwise pass vacuously.
+ * as a misspelt directory would otherwise pass vacuously; an
+ * unreadable *file* is reported in TreeResult::errors and scanning
+ * continues.
  */
 TreeResult lintTree(const std::string &root,
                     const std::vector<std::string> &subdirs);
