@@ -34,7 +34,8 @@ cmake -B build -S .
 cmake --build build -j
 cmake --build build -j \
     --target perf_pipeline perf_interval perf_tracegen perf_gather \
-             perf_train perf_learned perf_service adaptsimd
+             perf_gather_warm perf_train perf_learned perf_service \
+             adaptsimd
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # 2. TSan over the concurrency tests.
@@ -42,9 +43,9 @@ if san_available thread; then
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
         --target test_thread_pool test_repository test_trace_cache \
-                 test_obs test_sim test_svc
+                 test_obs test_sim test_svc test_gather_scheduler
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$|test_svc'
+        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$|test_svc|test_gather_scheduler'
 else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi

@@ -450,7 +450,8 @@ EvalRecord
 EvalRepository::simulate(const PhaseSpec &spec,
                          const space::Configuration &config,
                          const sim::PerfModel &backend,
-                         const sim::PerfModel *&producer)
+                         const sim::PerfModel *&producer,
+                         double *uncertainty)
 {
     const auto &wl = workload(spec.workload);
     // Each simulation gets its own wrong-path stream (the generator
@@ -475,6 +476,8 @@ EvalRepository::simulate(const PhaseSpec &spec,
     const auto m = session->metricsFor(result);
     producer = session->lastProducer() ? session->lastProducer()
                                        : &backend;
+    if (uncertainty)
+        *uncertainty = session->lastUncertainty();
 
     EvalRecord r;
     r.cycles = m.cycles;
@@ -494,6 +497,30 @@ EvalRepository::evaluate(const PhaseSpec &spec,
 {
     const sim::PerfModel &model =
         backend ? *backend : sim::defaultPerfModel();
+    return evaluateImpl(spec, config, model, nullptr, nullptr);
+}
+
+EvalRepository::ProbeResult
+EvalRepository::evaluateProbe(const PhaseSpec &spec,
+                              const space::Configuration &config,
+                              const sim::PerfModel *backend)
+{
+    const sim::PerfModel &model =
+        backend ? *backend : sim::defaultPerfModel();
+    ProbeResult probe;
+    bool cached = false;
+    probe.record = evaluateImpl(spec, config, model,
+                                &probe.uncertainty, &cached);
+    probe.cached = cached;
+    return probe;
+}
+
+EvalRecord
+EvalRepository::evaluateImpl(const PhaseSpec &spec,
+                             const space::Configuration &config,
+                             const sim::PerfModel &model,
+                             double *uncertainty, bool *cached)
+{
     const std::uint64_t code = config.encode();
     // Probe every tag the backend accepts, best fidelity first (a
     // cached cycle-level record satisfies a cascade query outright).
@@ -506,6 +533,8 @@ EvalRepository::evaluate(const PhaseSpec &spec,
             if (it != cache.records.end()) {
                 ++hits_;
                 OBS_ONLY(repoMetrics().hit.add(1);)
+                if (cached)
+                    *cached = true;
                 return it->second;
             }
         }
@@ -516,7 +545,7 @@ EvalRepository::evaluate(const PhaseSpec &spec,
     const sim::PerfModel *producer = &model;
     {
         OBS_SPAN("repo/simulate");
-        r = simulate(spec, config, model, producer);
+        r = simulate(spec, config, model, producer, uncertainty);
     }
     const double secs =
         std::chrono::duration<double>(
@@ -612,7 +641,7 @@ std::vector<EvalRecord>
 EvalRepository::evaluateBatch(
     const PhaseSpec &spec,
     const std::vector<space::Configuration> &configs,
-    const sim::PerfModel *backend)
+    const sim::PerfModel *backend, std::size_t refine_budget)
 {
     // Concurrent gathers may share one repository; the pool runs one
     // batch at a time, so callers queue here rather than racing into
@@ -631,12 +660,14 @@ EvalRepository::evaluateBatch(
     // full-fidelity re-evaluation — the ones an adaptivity search
     // would act on.  Ground-truth records land in the cache under
     // the cycle tag, so cacheLookupTags() serves them ever after.
-    if (const sim::PerfModel *truth = model.groundTruthModel()) {
+    const sim::PerfModel *truth =
+        refine_budget > 0 ? model.groundTruthModel() : nullptr;
+    if (truth) {
         std::vector<double> eff(out.size());
         for (std::size_t i = 0; i < out.size(); ++i)
             eff[i] = out[i].efficiency;
         std::vector<std::size_t> refine;
-        model.selectForRefinement(eff, refine);
+        model.selectForRefinement(eff, refine_budget, refine);
         if (!refine.empty()) {
             pool_.parallelFor(refine.size(), [&](std::size_t i) {
                 out[refine[i]] =

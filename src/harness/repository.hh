@@ -180,12 +180,38 @@ class EvalRepository
     /** Evaluate many configurations on one phase, in parallel.
      *  When the backend names a groundTruthModel(), the points it
      *  selectForRefinement()s are afterwards re-evaluated at ground
-     *  truth and replaced in the returned vector. */
+     *  truth and replaced in the returned vector; @p refine_budget
+     *  caps those ground-truth runs (0 skips refinement outright —
+     *  used for batches the caller already trusts, e.g. memoised
+     *  gathers and all-cache-hit daemon batches). */
     std::vector<EvalRecord>
     evaluateBatch(const PhaseSpec &spec,
                   const std::vector<space::Configuration> &configs,
-                  const sim::PerfModel *backend = nullptr)
+                  const sim::PerfModel *backend = nullptr,
+                  std::size_t refine_budget = ~std::size_t(0))
         ADAPTSIM_EXCLUDES(batchMutex_, mutex_);
+
+    /** Outcome of evaluateProbe(): the record plus how it was made. */
+    struct ProbeResult
+    {
+        EvalRecord record;
+        /** Producer's lastUncertainty() when freshly simulated;
+         *  0 for cache hits (cached records are already settled). */
+        double uncertainty = 0.0;
+        bool cached = false;
+    };
+
+    /**
+     * evaluate() that also reports whether the answer came from the
+     * cache and, when freshly simulated, the producing session's
+     * confidence (sim::CoreSession::lastUncertainty()).  The gather
+     * scheduler uses this to decide whether a memoised phase needs
+     * re-characterisation.
+     */
+    ProbeResult evaluateProbe(const PhaseSpec &spec,
+                              const space::Configuration &config,
+                              const sim::PerfModel *backend = nullptr)
+        ADAPTSIM_EXCLUDES(mutex_);
 
     /**
      * Profiling-configuration run with counters (cached).  The
@@ -258,6 +284,10 @@ class EvalRepository
     /** On-disk store shard count (fixed at construction). */
     std::size_t shards() const { return shards_; }
 
+    /** Root directory of the on-disk store (fixed at construction);
+     *  sibling indices (the gather phase-memo) live alongside it. */
+    const std::string &dataDir() const { return dataDir_; }
+
     /** All cached records of one phase produced under one backend
      *  tag, sorted by configuration code (surrogate training data
      *  harvest; loads the phase's disk cache if needed). */
@@ -296,11 +326,21 @@ class EvalRepository
     /** Run the real simulation through @p backend (no caching).
      *  @p producer is set to the model that actually produced the
      *  result (== &backend except for policy backends like the
-     *  cascade, which may delegate to another fidelity). */
+     *  cascade, which may delegate to another fidelity).  A non-null
+     *  @p uncertainty receives the session's lastUncertainty(). */
     EvalRecord simulate(const PhaseSpec &spec,
                         const space::Configuration &config,
                         const sim::PerfModel &backend,
-                        const sim::PerfModel *&producer)
+                        const sim::PerfModel *&producer,
+                        double *uncertainty = nullptr)
+        ADAPTSIM_EXCLUDES(mutex_);
+
+    /** Shared body of evaluate()/evaluateProbe(): cached lookup or
+     *  simulate-and-persist, with optional probe outputs. */
+    EvalRecord evaluateImpl(const PhaseSpec &spec,
+                            const space::Configuration &config,
+                            const sim::PerfModel &model,
+                            double *uncertainty, bool *cached)
         ADAPTSIM_EXCLUDES(mutex_);
 
     PhaseCache &cacheFor(const PhaseSpec &spec)

@@ -1,5 +1,6 @@
 #include "phase/bbv.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace adaptsim::phase
@@ -35,6 +36,17 @@ Bbv::ofTrace(std::span<const isa::MicroOp> trace)
     for (const auto &op : trace)
         bbv.addOp(op);
     bbv.normalise();
+    return bbv;
+}
+
+Bbv
+Bbv::fromValues(const std::vector<double> &values, std::uint64_t ops)
+{
+    Bbv bbv;
+    const std::size_t n = std::min(values.size(), dimension);
+    for (std::size_t i = 0; i < n; ++i)
+        bbv.values_[i] = values[i];
+    bbv.ops_ = ops;
     return bbv;
 }
 

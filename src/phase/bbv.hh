@@ -37,6 +37,15 @@ class Bbv
     /** Build from a whole interval trace. */
     static Bbv ofTrace(std::span<const isa::MicroOp> trace);
 
+    /**
+     * Rebuild from previously exported values() / opCount() (used
+     * when deserializing signature tables).  @p values must hold
+     * exactly @ref dimension entries; extra entries are ignored and
+     * missing ones read as zero.
+     */
+    static Bbv fromValues(const std::vector<double> &values,
+                          std::uint64_t ops);
+
     /** L1-normalise (call once the interval is complete). */
     void normalise();
 

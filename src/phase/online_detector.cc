@@ -1,49 +1,138 @@
 #include "phase/online_detector.hh"
 
+#include <algorithm>
 #include <limits>
+
+#include "common/serial.hh"
 
 namespace adaptsim::phase
 {
 
+namespace
+{
+
+// Serialized signature-table layout: magic, version, then the
+// detector parameters and one (ops, dimension doubles, observation
+// count) tuple per signature.  A trailing FNV-1a checksum over
+// everything before it rejects truncated or bit-rotted input.
+constexpr std::uint64_t kDetectorMagic = 0x414453494d504844ULL;
+constexpr std::uint64_t kDetectorVersion = 1;
+
+} // namespace
+
 OnlinePhaseDetector::OnlinePhaseDetector(double threshold,
                                          std::size_t max_phases)
-    : threshold_(threshold), maxPhases_(max_phases)
+    : threshold_(threshold), maxPhases_(std::max<std::size_t>(
+                                 max_phases, 1))
 {
+}
+
+std::optional<OnlinePhaseDetector::Match>
+OnlinePhaseDetector::bestMatch(const Bbv &bbv) const
+{
+    if (signatures_.empty())
+        return std::nullopt;
+    Match best{0, std::numeric_limits<double>::max()};
+    for (std::size_t i = 0; i < signatures_.size(); ++i) {
+        const double d = signatures_[i].manhattan(bbv);
+        if (d < best.distance) {
+            best.distance = d;
+            best.phaseId = i;
+        }
+    }
+    return best;
 }
 
 OnlinePhaseDetector::Observation
 OnlinePhaseDetector::observe(const Bbv &bbv)
 {
-    // Find the closest known signature.
-    std::size_t best = ~std::size_t(0);
-    double best_d = std::numeric_limits<double>::max();
-    for (std::size_t i = 0; i < signatures_.size(); ++i) {
-        const double d = signatures_[i].manhattan(bbv);
-        if (d < best_d) {
-            best_d = d;
-            best = i;
-        }
-    }
+    const auto best = bestMatch(bbv);
 
     Observation obs;
-    if (best != ~std::size_t(0) && best_d <= threshold_) {
+    if (best && best->distance <= threshold_) {
         obs.newPhase = false;
-        obs.phaseId = best;
-        ++observations_[best];
+        obs.phaseId = best->phaseId;
+        ++observations_[best->phaseId];
     } else if (signatures_.size() < maxPhases_) {
         obs.newPhase = true;
         obs.phaseId = signatures_.size();
         signatures_.push_back(bbv);
         observations_.push_back(1);
     } else {
-        // Table full: fall back to the nearest signature.
+        // Table full: fall back to the nearest signature.  maxPhases_
+        // is clamped to >= 1 so the table is guaranteed non-empty
+        // here and `best` is engaged.
         obs.newPhase = false;
-        obs.phaseId = best;
-        ++observations_[best];
+        obs.phaseId = best->phaseId;
+        ++observations_[best->phaseId];
     }
     obs.phaseChanged = obs.phaseId != current_;
     current_ = obs.phaseId;
     return obs;
+}
+
+std::string
+OnlinePhaseDetector::serialize() const
+{
+    std::string out;
+    putU64(out, kDetectorMagic);
+    putU64(out, kDetectorVersion);
+    putDouble(out, threshold_);
+    putU64(out, maxPhases_);
+    putU64(out, current_);
+    putU64(out, signatures_.size());
+    for (std::size_t i = 0; i < signatures_.size(); ++i) {
+        putU64(out, signatures_[i].opCount());
+        for (double v : signatures_[i].values())
+            putDouble(out, v);
+        putU64(out, observations_[i]);
+    }
+    putU64(out, fnv1a64(out.data(), out.size()));
+    return out;
+}
+
+std::optional<OnlinePhaseDetector>
+OnlinePhaseDetector::deserialize(std::string_view bytes)
+{
+    // Fixed header + checksum must fit before any entry is read.
+    constexpr std::size_t header = 6 * 8;
+    if (bytes.size() < header + 8)
+        return std::nullopt;
+    const std::size_t body = bytes.size() - 8;
+    if (getU64(bytes.data() + body) !=
+        fnv1a64(bytes.data(), body))
+        return std::nullopt;
+    if (getU64(bytes.data()) != kDetectorMagic ||
+        getU64(bytes.data() + 8) != kDetectorVersion)
+        return std::nullopt;
+
+    const double threshold = getDouble(bytes.data() + 16);
+    const std::uint64_t max_phases = getU64(bytes.data() + 24);
+    const std::uint64_t current = getU64(bytes.data() + 32);
+    const std::uint64_t count = getU64(bytes.data() + 40);
+
+    constexpr std::size_t entry = 8 + Bbv::dimension * 8 + 8;
+    if (count > (body - header) / entry ||
+        header + count * entry != body)
+        return std::nullopt;
+
+    OnlinePhaseDetector det(threshold,
+                            static_cast<std::size_t>(max_phases));
+    if (count > det.maxPhases_)
+        return std::nullopt;
+    det.current_ = static_cast<std::size_t>(current);
+    std::size_t off = header;
+    std::vector<double> values(Bbv::dimension, 0.0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t ops = getU64(bytes.data() + off);
+        off += 8;
+        for (std::size_t d = 0; d < Bbv::dimension; ++d, off += 8)
+            values[d] = getDouble(bytes.data() + off);
+        det.signatures_.push_back(Bbv::fromValues(values, ops));
+        det.observations_.push_back(getU64(bytes.data() + off));
+        off += 8;
+    }
+    return det;
 }
 
 } // namespace adaptsim::phase

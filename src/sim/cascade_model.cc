@@ -148,13 +148,15 @@ CascadeModel::groundTruthModel() const
 
 void
 CascadeModel::selectForRefinement(
-    const std::vector<double> &efficiency,
+    const std::vector<double> &efficiency, std::size_t budget,
     std::vector<std::size_t> &out) const
 {
-    if (efficiency.empty())
+    out.clear();
+    if (efficiency.empty() || budget == 0)
         return;
-    const std::size_t want = std::max<std::size_t>(
-        1, efficiency.size() / kRefineDivisor);
+    const std::size_t want = std::min(
+        budget, std::max<std::size_t>(
+                    1, efficiency.size() / kRefineDivisor));
     std::vector<std::size_t> order(efficiency.size());
     std::iota(order.begin(), order.end(), 0);
     std::partial_sort(order.begin(), order.begin() + want,

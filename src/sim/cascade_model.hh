@@ -64,8 +64,10 @@ class CascadeModel final : public PerfModel
 
     const PerfModel *groundTruthModel() const override;
 
-    /** Top max(1, n/kRefineDivisor) points by efficiency. */
+    /** Top max(1, n/kRefineDivisor) points by efficiency, further
+     *  capped by the caller's @p budget. */
     void selectForRefinement(const std::vector<double> &efficiency,
+                             std::size_t budget,
                              std::vector<std::size_t> &out)
         const override;
 

@@ -159,14 +159,23 @@ class PerfModel
     /**
      * Pick indices of a finished batch (per-point efficiency in
      * @p efficiency) worth re-evaluating at ground truth — the
-     * near-frontier points an adaptivity search will act on.  Only
-     * consulted when groundTruthModel() is non-null; default none.
+     * near-frontier points an adaptivity search will act on.
+     * @p budget caps how many ground-truth runs the caller is
+     * willing to pay for (kUnlimitedRefinement when it has no
+     * opinion; 0 when the batch is already trusted, e.g. a memoised
+     * gather or an all-cache-hit daemon batch).  Only consulted when
+     * groundTruthModel() is non-null; default none.
      */
+    static constexpr std::size_t kUnlimitedRefinement =
+        ~std::size_t(0);
+
     virtual void
     selectForRefinement(const std::vector<double> &efficiency,
+                        std::size_t budget,
                         std::vector<std::size_t> &out) const
     {
         (void)efficiency;
+        (void)budget;
         (void)out;
     }
 

@@ -466,10 +466,26 @@ EvalServer::dispatchLoop()
             });
             if (stopping_)
                 return;
+            // Spec affinity: among the queued batches pick one for
+            // the phase just processed when available (groups are
+            // keyed "<spec key>\0<backend>", so same-spec batches
+            // are contiguous), else fall back to map order.  Warm
+            // gathers fan identical-phase probes through many
+            // clients; processing them back to back reuses the
+            // phase's loaded `.evc` cache and warm traces.
             auto it = queue_.begin();
+            if (!lastSpecKey_.empty()) {
+                const std::string prefix = lastSpecKey_ + '\0';
+                const auto affine = queue_.lower_bound(prefix);
+                if (affine != queue_.end() &&
+                    affine->first.compare(0, prefix.size(),
+                                          prefix) == 0)
+                    it = affine;
+            }
             batch = std::move(it->second);
             queue_.erase(it);
             queueDepth_ -= batch.reqs.size();
+            lastSpecKey_ = batch.spec.key();
             OBS_ONLY(
                 svcMetrics().queueDepth.set(double(queueDepth_));)
         }
@@ -488,12 +504,14 @@ EvalServer::processBatch(Batch &batch)
     std::vector<space::Configuration> configs;
     configs.reserve(batch.reqs.size());
     std::vector<char> hit(batch.reqs.size(), 0);
+    bool all_hit = true;
     for (std::size_t i = 0; i < batch.reqs.size(); ++i) {
         configs.push_back(
             space::Configuration::decode(batch.reqs[i].code));
         hit[i] = repo_.peekCached(batch.spec, configs[i], &model)
                      ? 1
                      : 0;
+        all_hit = all_hit && hit[i] != 0;
     }
 
     std::vector<harness::EvalRecord> records;
@@ -502,8 +520,14 @@ EvalServer::processBatch(Batch &batch)
         obs::ScopedSpan span("svc/dispatch",
                              backendLatency(model.name()));
 #endif
-        records = repo_.evaluateBatch(batch.spec, configs,
-                                      &model);
+        // A batch answered entirely from the warm cache is settled
+        // data (a memoised gather re-reading a characterised
+        // phase): skip the cascade's near-frontier ground-truth
+        // refinement rather than re-simulating points the cache
+        // already answers.
+        records = repo_.evaluateBatch(
+            batch.spec, configs, &model,
+            all_hit ? 0 : sim::PerfModel::kUnlimitedRefinement);
     }
 
     for (std::size_t i = 0; i < batch.reqs.size(); ++i) {

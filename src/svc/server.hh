@@ -173,6 +173,11 @@ class EvalServer
     bool stopping_ ADAPTSIM_GUARDED_BY(mutex_) = false;
     std::map<std::string, Batch> queue_ ADAPTSIM_GUARDED_BY(mutex_);
     std::size_t queueDepth_ ADAPTSIM_GUARDED_BY(mutex_) = 0;
+    /** Spec key of the last dispatched batch: the dispatcher prefers
+     *  queued batches of the same phase (memoised gathers probe one
+     *  phase from many clients), keeping that phase's `.evc` cache
+     *  and interval traces warm across consecutive batches. */
+    std::string lastSpecKey_ ADAPTSIM_GUARDED_BY(mutex_);
 
     /** Live connections, keyed by fd (I/O thread only). */
     std::unordered_map<int, std::shared_ptr<Client>> clients_;

@@ -78,6 +78,12 @@ TEST(Lint, DeterminismScopedToCoreDirs)
     EXPECT_EQ(
         lint("src/control/x.cc", "auto t = time(nullptr);\n").size(),
         1u);
+    // The gather scheduler's memo index (src/harness) must stay
+    // deterministic too: warm re-gathers promise bit-exact replays.
+    EXPECT_EQ(lint("src/harness/gather_scheduler.cc",
+                   "std::mt19937 g;\n")
+                  .size(),
+              1u);
 
     // The same entropy sources are legal outside the simulation and
     // experiment core (obs, bench, tests)...

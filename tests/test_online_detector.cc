@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "phase/online_detector.hh"
 #include "workload/spec_suite.hh"
 
@@ -79,6 +83,114 @@ TEST(OnlineDetector, TableCapacityFallsBackToNearest)
     EXPECT_FALSE(obs.newPhase);
     EXPECT_LT(obs.phaseId, 2u);
     EXPECT_EQ(det.numPhases(), 2u);
+}
+
+TEST(OnlineDetector, ExactCapacityBoundaryAt64)
+{
+    // Fill the default 64-slot table with synthetic one-hot
+    // signatures: entry 64 must fall back to the nearest signature
+    // (not allocate, not read out of bounds), and entry 63 — the
+    // exact boundary — must still allocate.
+    OnlinePhaseDetector det(0.0001, 64);
+    std::vector<double> v(Bbv::dimension, 0.0);
+    for (std::size_t i = 0; i < 64; ++i) {
+        // Two-hot pattern: distinct for far more than 64 entries.
+        std::fill(v.begin(), v.end(), 0.0);
+        v[i % Bbv::dimension] = 0.75;
+        v[(i / Bbv::dimension) % Bbv::dimension] += 0.25;
+        const auto obs = det.observe(Bbv::fromValues(v, 100));
+        EXPECT_TRUE(obs.newPhase) << i;
+        EXPECT_EQ(obs.phaseId, i) << i;
+    }
+    EXPECT_EQ(det.numPhases(), 64u);
+
+    std::fill(v.begin(), v.end(), 1.0 / Bbv::dimension);
+    const auto overflow = det.observe(Bbv::fromValues(v, 100));
+    EXPECT_FALSE(overflow.newPhase);
+    EXPECT_LT(overflow.phaseId, 64u);
+    EXPECT_EQ(det.numPhases(), 64u);
+}
+
+TEST(OnlineDetector, ZeroCapacityIsClampedToOne)
+{
+    // max_phases = 0 used to index observations_[~0] when the first
+    // interval arrived with a full (empty) table; the capacity is now
+    // clamped so the first observation always has a slot.
+    OnlinePhaseDetector det(0.0001, 0);
+    EXPECT_EQ(det.capacity(), 1u);
+    const auto wl = workload::specBenchmark("gcc", 400000);
+    const auto first = det.observe(bbvAt(wl, 0));
+    EXPECT_TRUE(first.newPhase);
+    EXPECT_EQ(first.phaseId, 0u);
+    const auto second = det.observe(bbvAt(wl, 300000));
+    EXPECT_FALSE(second.newPhase);
+    EXPECT_EQ(second.phaseId, 0u);
+    EXPECT_EQ(det.numPhases(), 1u);
+}
+
+TEST(OnlineDetector, BestMatchIsConstAndThresholdFree)
+{
+    const auto wl = workload::specBenchmark("gap", 400000);
+    OnlinePhaseDetector det;
+    EXPECT_FALSE(det.bestMatch(bbvAt(wl, 10000)).has_value());
+    det.observe(bbvAt(wl, 10000));
+    det.observe(bbvAt(wl, 250000));
+
+    const auto &cdet = det;
+    const auto m = cdet.bestMatch(bbvAt(wl, 14000));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->phaseId, 0u);
+    EXPECT_LT(m->distance, cdet.threshold());
+    // Query must not count as an observation.
+    EXPECT_EQ(det.observations(0), 1u);
+}
+
+TEST(OnlineDetector, SerializeRoundTripsBitExactly)
+{
+    const auto wl = workload::specBenchmark("gap", 400000);
+    OnlinePhaseDetector det(0.4, 16);
+    det.observe(bbvAt(wl, 10000));
+    det.observe(bbvAt(wl, 250000));
+    det.observe(bbvAt(wl, 14000));
+
+    const std::string bytes = det.serialize();
+    const auto back = OnlinePhaseDetector::deserialize(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->numPhases(), det.numPhases());
+    EXPECT_EQ(back->currentPhase(), det.currentPhase());
+    EXPECT_EQ(back->threshold(), det.threshold());
+    EXPECT_EQ(back->capacity(), det.capacity());
+    for (std::size_t i = 0; i < det.numPhases(); ++i) {
+        EXPECT_EQ(back->observations(i), det.observations(i));
+        EXPECT_EQ(back->signature(i).values(),
+                  det.signature(i).values());
+        EXPECT_EQ(back->signature(i).opCount(),
+                  det.signature(i).opCount());
+    }
+    // Round-trip serialization is byte-identical.
+    EXPECT_EQ(back->serialize(), bytes);
+}
+
+TEST(OnlineDetector, DeserializeRejectsCorruptInput)
+{
+    OnlinePhaseDetector det(0.4, 16);
+    std::vector<double> v(Bbv::dimension, 1.0 / Bbv::dimension);
+    det.observe(Bbv::fromValues(v, 100));
+    std::string bytes = det.serialize();
+
+    EXPECT_FALSE(OnlinePhaseDetector::deserialize("").has_value());
+    EXPECT_FALSE(OnlinePhaseDetector::deserialize(
+                     std::string_view(bytes).substr(0, 20))
+                     .has_value());
+    std::string flipped = bytes;
+    flipped[24] ^= 0x01;   // damage the body under the checksum
+    EXPECT_FALSE(OnlinePhaseDetector::deserialize(flipped)
+                     .has_value());
+    std::string truncated = bytes;
+    truncated.pop_back();
+    EXPECT_FALSE(OnlinePhaseDetector::deserialize(truncated)
+                     .has_value());
+    EXPECT_TRUE(OnlinePhaseDetector::deserialize(bytes).has_value());
 }
 
 TEST(OnlineDetector, PhaseChangeRateIsModerate)

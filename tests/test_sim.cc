@@ -162,12 +162,14 @@ TEST(Sim, CascadeRefinementPicksTopSlice)
 {
     const sim::CascadeModel model;
     std::vector<std::size_t> out;
-    model.selectForRefinement({}, out);
+    model.selectForRefinement({}, sim::PerfModel::kUnlimitedRefinement,
+                              out);
     EXPECT_TRUE(out.empty());
 
     // Small batches still refine at least one point: the best one.
     const std::vector<double> eff{0.3, 0.9, 0.1, 0.7};
-    model.selectForRefinement(eff, out);
+    model.selectForRefinement(eff, sim::PerfModel::kUnlimitedRefinement,
+                              out);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0], 1u);
 
@@ -175,10 +177,18 @@ TEST(Sim, CascadeRefinementPicksTopSlice)
     std::vector<double> big(2 * sim::CascadeModel::kRefineDivisor);
     for (std::size_t i = 0; i < big.size(); ++i)
         big[i] = static_cast<double>(i);
-    model.selectForRefinement(big, out);
+    model.selectForRefinement(big, sim::PerfModel::kUnlimitedRefinement,
+                              out);
     ASSERT_EQ(out.size(), 2u);
     EXPECT_EQ(out[0], big.size() - 1);
     EXPECT_EQ(out[1], big.size() - 2);
+
+    // A caller-imposed budget caps the slice; zero disables it.
+    model.selectForRefinement(big, 1, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], big.size() - 1);
+    model.selectForRefinement(big, 0, out);
+    EXPECT_TRUE(out.empty());
 }
 
 TEST(Sim, DefaultBackendFollowsEnv)
