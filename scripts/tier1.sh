@@ -5,8 +5,9 @@
 #      containment objects, which compile with the main build
 #   2. ThreadSanitizer pass over the concurrency-critical tests
 #      (thread pool, shared simulation repository, shared trace
-#      cache, metrics registry, perf-model backend registry, and the
-#      evaluation service with its concurrent-client storm)
+#      cache, metrics registry, perf-model backend registry, the
+#      evaluation service with its concurrent-client storm, and the
+#      multi-core chip model with its shared LLC)
 #   3. AddressSanitizer+UBSan pass over the full test suite
 #   4. -DADAPTSIM_OBS=OFF build proving the instrumentation compiles
 #      out cleanly
@@ -33,9 +34,9 @@ san_available() {
 cmake -B build -S .
 cmake --build build -j
 cmake --build build -j \
-    --target perf_pipeline perf_interval perf_tracegen perf_gather \
-             perf_gather_warm perf_train perf_learned perf_service \
-             adaptsimd
+    --target perf_pipeline perf_chip perf_interval perf_tracegen \
+             perf_gather perf_gather_warm perf_train perf_learned \
+             perf_service adaptsimd
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # 2. TSan over the concurrency tests.
@@ -43,9 +44,10 @@ if san_available thread; then
     cmake -B build-tsan -S . -DADAPTSIM_SANITIZE=thread
     cmake --build build-tsan -j \
         --target test_thread_pool test_repository test_trace_cache \
-                 test_obs test_sim test_svc test_gather_scheduler
+                 test_obs test_sim test_svc test_gather_scheduler \
+                 test_shared_llc test_chip
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$|test_svc|test_gather_scheduler'
+        -R 'test_thread_pool|test_repository|test_trace_cache|test_obs|test_sim$|test_svc|test_gather_scheduler|test_shared_llc|test_chip'
 else
     echo "tier1: ThreadSanitizer unavailable; skipping TSan pass"
 fi

@@ -7,6 +7,7 @@
 #define ADAPTSIM_COMMON_ENV_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace adaptsim
@@ -115,6 +116,24 @@ double gatherMemoTolerance();
  *  configurations are re-measured on a recognised phase (default 1,
  *  minimum 1). */
 std::size_t gatherMemoProbes();
+
+/** ADAPTSIM_CHIP_CORES: cores on the simulated chip (default 1 —
+ *  the classic single-core model; valid 1..8).  An out-of-range or
+ *  malformed value is rejected with a warning and the default is
+ *  used — never silently clamped, because a chip size silently
+ *  different from the one requested invalidates any co-run
+ *  comparison made with it. */
+unsigned chipCores();
+
+/** ADAPTSIM_LLC_BANKS: shared-LLC bank count (default 8; valid
+ *  powers of two 1..64).  Out-of-range or non-power-of-two values
+ *  are rejected with a warning, keeping the default. */
+unsigned llcBanks();
+
+/** ADAPTSIM_MIX_SEED: deterministic co-run mix-generator seed
+ *  (default 2010 — the paper year; valid 0..2^32-1).  Out-of-range
+ *  values are rejected with a warning, keeping the default. */
+std::uint32_t mixSeed();
 
 } // namespace adaptsim
 

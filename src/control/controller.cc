@@ -22,7 +22,7 @@ AdaptiveController::AdaptiveController(const workload::Workload &wl,
                           ? backend_
                           : sim::perfModel("cycle")),
       wrongPath_(wl.averageParams(), wl.seed() ^ 0x771ULL),
-      detector_(options.detectorThreshold)
+      policy_(model, options.featureSet, options.detectorThreshold)
 {
 }
 
@@ -75,8 +75,7 @@ AdaptiveController::run(std::uint64_t max_instructions)
         }
 
         // Stage 1: phase detection on the interval's BBV.
-        const auto obs =
-            detector_.observe(phase::Bbv::ofTrace(trace));
+        const auto obs = policy_.observe(trace);
 
         space::Configuration target = current;
         if (obs.newPhase) {
@@ -99,17 +98,9 @@ AdaptiveController::run(std::uint64_t max_instructions)
             ++stats.profilingIntervals;
 
             // Stage 3: predict and remember.
-            const auto x = counters::assembleFeatures(
-                bank, opt_.featureSet);
-            {
-                OBS_SPAN("control/predict");
-                target = model_.predict(x);
-            }
-            predictions_[obs.phaseId] = target;
-        } else {
-            const auto it = predictions_.find(obs.phaseId);
-            if (it != predictions_.end())
-                target = it->second;
+            target = policy_.predictFrom(obs.phaseId, bank);
+        } else if (const auto *p = policy_.prediction(obs.phaseId)) {
+            target = *p;
         }
         if (obs.phaseChanged)
             ++stats.phaseChanges;

@@ -19,10 +19,10 @@
 #include <memory>
 #include <unordered_map>
 
+#include "control/core_policy.hh"
 #include "control/reconfig_cost.hh"
 #include "counters/feature_vector.hh"
 #include "ml/trainer.hh"
-#include "phase/online_detector.hh"
 #include "sim/perf_model.hh"
 #include "workload/trace_cache.hh"
 #include "workload/workload.hh"
@@ -95,7 +95,7 @@ class AdaptiveController
     const std::unordered_map<std::size_t, space::Configuration> &
     phasePredictions() const
     {
-        return predictions_;
+        return policy_.predictions();
     }
 
   private:
@@ -111,9 +111,7 @@ class AdaptiveController
     const sim::PerfModel &profileBackend_; ///< observer-capable
 
     workload::WrongPathGenerator wrongPath_;
-    phase::OnlinePhaseDetector detector_;
-    std::unordered_map<std::size_t, space::Configuration>
-        predictions_;
+    CorePolicy policy_;
 };
 
 /**

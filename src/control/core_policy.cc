@@ -1,0 +1,44 @@
+#include "control/core_policy.hh"
+
+#include "obs/obs.hh"
+
+namespace adaptsim::control
+{
+
+CorePolicy::CorePolicy(const ml::AdaptivityModel &model,
+                       counters::FeatureSet feature_set,
+                       double detector_threshold)
+    : model_(model), featureSet_(feature_set),
+      detector_(detector_threshold)
+{
+}
+
+CorePolicy::Decision
+CorePolicy::observe(std::span<const isa::MicroOp> trace)
+{
+    const auto obs = detector_.observe(phase::Bbv::ofTrace(trace));
+    return {obs.phaseChanged, obs.newPhase, obs.phaseId};
+}
+
+space::Configuration
+CorePolicy::predictFrom(std::size_t phase_id,
+                        const counters::CounterBank &bank)
+{
+    const auto x = counters::assembleFeatures(bank, featureSet_);
+    space::Configuration target;
+    {
+        OBS_SPAN("control/predict");
+        target = model_.predict(x);
+    }
+    predictions_[phase_id] = target;
+    return target;
+}
+
+const space::Configuration *
+CorePolicy::prediction(std::size_t phase_id) const
+{
+    const auto it = predictions_.find(phase_id);
+    return it == predictions_.end() ? nullptr : &it->second;
+}
+
+} // namespace adaptsim::control

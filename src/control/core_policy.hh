@@ -1,0 +1,83 @@
+/**
+ * @file
+ * One predictive adaptivity policy instance — the per-core decision
+ * state of the Fig. 2 loop, factored out of the controller so a
+ * multi-core chip can run N independent instances against per-core
+ * counters (DESIGN.md §15).
+ *
+ * A CorePolicy owns Stage 1 (the online BBV phase detector) and
+ * Stage 3 (the predictive model plus the per-phase prediction
+ * memo).  Stage 2 — actually running the profiling interval — stays
+ * with the controller, which owns the simulation sessions; the
+ * policy only turns the gathered counters into a configuration.
+ */
+
+#ifndef ADAPTSIM_CONTROL_CORE_POLICY_HH
+#define ADAPTSIM_CONTROL_CORE_POLICY_HH
+
+#include <span>
+#include <unordered_map>
+
+#include "counters/counter_bank.hh"
+#include "counters/feature_vector.hh"
+#include "ml/trainer.hh"
+#include "phase/online_detector.hh"
+
+namespace adaptsim::control
+{
+
+/** Detector + model + per-phase prediction memory for one core. */
+class CorePolicy
+{
+  public:
+    /**
+     * @param model trained predictive model (must match
+     *        @p feature_set).
+     * @param feature_set counter set the model was trained on.
+     * @param detector_threshold BBV distance for "new phase".
+     */
+    CorePolicy(const ml::AdaptivityModel &model,
+               counters::FeatureSet feature_set,
+               double detector_threshold);
+
+    /** Stage 1 outcome for one interval. */
+    struct Decision
+    {
+        bool phaseChanged = false;
+        bool newPhase = false;
+        std::size_t phaseId = 0;
+    };
+
+    /** Classify one interval's trace (online BBV detection). */
+    Decision observe(std::span<const isa::MicroOp> trace);
+
+    /**
+     * Stage 3: map a profiled interval's counters to a
+     * configuration and remember it for @p phase_id.
+     */
+    space::Configuration
+    predictFrom(std::size_t phase_id,
+                const counters::CounterBank &bank);
+
+    /** Stored prediction for @p phase_id, or nullptr. */
+    const space::Configuration *
+    prediction(std::size_t phase_id) const;
+
+    /** All predictions made so far, by detector phase id. */
+    const std::unordered_map<std::size_t, space::Configuration> &
+    predictions() const
+    {
+        return predictions_;
+    }
+
+  private:
+    const ml::AdaptivityModel &model_;
+    counters::FeatureSet featureSet_;
+    phase::OnlinePhaseDetector detector_;
+    std::unordered_map<std::size_t, space::Configuration>
+        predictions_;
+};
+
+} // namespace adaptsim::control
+
+#endif // ADAPTSIM_CONTROL_CORE_POLICY_HH

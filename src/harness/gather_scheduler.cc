@@ -16,8 +16,10 @@ namespace
 
 // Index layout: header, per-bucket key + serialized detector +
 // entries, trailing FNV-1a checksum over everything before it.
+// Version 2 added the chip-mix key to each memo's PhaseSpec;
+// version-1 indexes (all solo gathers) load with chip key 0.
 constexpr std::uint64_t kIndexMagic = 0x41445349'4d474d58ULL;
-constexpr std::uint64_t kIndexVersion = 1;
+constexpr std::uint64_t kIndexVersion = 2;
 
 constexpr std::size_t kNpos = ~std::size_t(0);
 
@@ -35,20 +37,25 @@ putSpec(std::string &out, const PhaseSpec &spec)
     putU64(out, spec.startInst);
     putU64(out, spec.warmLength);
     putU64(out, spec.detailLength);
+    putU64(out, spec.chipMix);
 }
 
 bool
-getSpec(const std::string &in, std::size_t &off, PhaseSpec &spec)
+getSpec(const std::string &in, std::size_t &off, PhaseSpec &spec,
+        bool has_chip)
 {
     if (!getString(in, off, spec.workload))
         return false;
-    if (off + 32 > in.size())
+    const std::size_t want = has_chip ? 40 : 32;
+    if (off + want > in.size())
         return false;
     spec.programLength = getU64(in.data() + off);
     spec.startInst = getU64(in.data() + off + 8);
     spec.warmLength = getU64(in.data() + off + 16);
     spec.detailLength = getU64(in.data() + off + 24);
-    off += 32;
+    // Version-1 memos predate the chip model: all solo gathers.
+    spec.chipMix = has_chip ? getU64(in.data() + off + 32) : 0;
+    off += want;
     return true;
 }
 
@@ -105,8 +112,15 @@ GatherScheduler::indexPathFor(const EvalRepository &repo)
 std::string
 GatherScheduler::bucketKey(const PhaseSpec &spec)
 {
-    return spec.workload + "|w" + std::to_string(spec.warmLength) +
-           "|d" + std::to_string(spec.detailLength);
+    std::string key = spec.workload + "|w" +
+                      std::to_string(spec.warmLength) + "|d" +
+                      std::to_string(spec.detailLength);
+    // Chip co-runs memoise separately: characterisations gathered
+    // under interference must never answer solo lookups (or other
+    // mixes).  Solo specs keep the historical key.
+    if (spec.chipMix != 0)
+        key += "|m" + std::to_string(spec.chipMix);
+    return key;
 }
 
 std::size_t
@@ -287,9 +301,12 @@ GatherScheduler::deserialize(const std::string &bytes)
     const std::size_t body = bytes.size() - 8;
     if (getU64(bytes.data() + body) != fnv1a64(bytes.data(), body))
         return false;
-    if (getU64(bytes.data()) != kIndexMagic ||
-        getU64(bytes.data() + 8) != kIndexVersion)
+    if (getU64(bytes.data()) != kIndexMagic)
         return false;
+    const std::uint64_t version = getU64(bytes.data() + 8);
+    if (version != 1 && version != kIndexVersion)
+        return false;
+    const bool has_chip = version >= 2;
 
     std::map<std::string, Bucket> loaded;
     const std::uint64_t n_buckets = getU64(bytes.data() + 16);
@@ -311,7 +328,7 @@ GatherScheduler::deserialize(const std::string &bytes)
             return false;
         for (std::uint64_t ei = 0; ei < n_entries; ++ei) {
             Memo m;
-            if (!getSpec(bytes, off, m.spec))
+            if (!getSpec(bytes, off, m.spec, has_chip))
                 return false;
             if (off + 32 > body)
                 return false;

@@ -24,16 +24,19 @@ namespace fs = std::filesystem;
 namespace
 {
 
-// On-disk cache format: 24-byte header + fixed 80-byte records
-// (config code, backend tag, seven doubles, checksum), everything
-// little-endian and checksummed (see repository.hh).  Version 1
-// lacked the backend-tag word; its 72-byte records are migrated as
-// cycle-level on load.
+// On-disk cache format: 24-byte header + fixed 88-byte records
+// (config code, backend tag, chip-mix key, seven doubles, checksum),
+// everything little-endian and checksummed (see repository.hh).
+// Version 2 lacked the chip-mix word (all its records were solo
+// runs, migrated with chip key 0); version 1 also lacked the
+// backend-tag word (72-byte records, migrated as solo cycle-level).
 constexpr char kMagic[8] = {'A', 'D', 'S', 'I', 'M', 'E', 'V', 'C'};
-constexpr std::uint64_t kVersion = 2;
+constexpr std::uint64_t kVersion = 3;
 constexpr std::size_t kHeaderSize = 24;
-constexpr std::size_t kRecordSize = 80;
+constexpr std::size_t kRecordSize = 88;
 constexpr std::size_t kRecordPayload = kRecordSize - 8;
+constexpr std::size_t kRecordSizeV2 = 80;
+constexpr std::size_t kRecordPayloadV2 = kRecordSizeV2 - 8;
 constexpr std::size_t kRecordSizeV1 = 72;
 constexpr std::size_t kRecordPayloadV1 = kRecordSizeV1 - 8;
 
@@ -58,6 +61,7 @@ encodeRecord(std::string &out, const EvalKey &key,
     const std::size_t start = out.size();
     putU64(out, key.code);
     putU64(out, key.backendTag);
+    putU64(out, key.chipKey);
     putDouble(out, r.cycles);
     putDouble(out, r.instructions);
     putDouble(out, r.seconds);
@@ -138,6 +142,10 @@ PhaseSpec::key() const
     std::ostringstream os;
     os << workload << "_L" << programLength << "_s" << startInst
        << "_w" << warmLength << "_d" << detailLength;
+    // Chip co-runs get their own stem; solo specs (chipMix 0) keep
+    // the historical name, so pre-chip stores stay addressable.
+    if (chipMix != 0)
+        os << "_m" << std::hex << chipMix << std::dec;
     return os.str();
 }
 
@@ -230,8 +238,9 @@ EvalRepository::loadBinaryCache(const std::string &path,
     }
     const std::uint64_t version = getU64(bytes.data() + 8);
     if (version != kVersion) {
-        // Version 1 is handled by loadV1Cache (migration), so this
-        // is an unknown — likely future — format.
+        // Versions 1 and 2 are handled by loadV1Cache/loadV2Cache
+        // (migration), so this is an unknown — likely future —
+        // format.
         warn("cache ", path, ": format version ", version,
              " (expected ", kVersion, "); regenerating");
         return false;
@@ -248,10 +257,10 @@ EvalRepository::loadBinaryCache(const std::string &path,
             ++bad;
             continue;
         }
-        const EvalKey key{getU64(p + 8), getU64(p)};
+        const EvalKey key{getU64(p + 8), getU64(p), getU64(p + 16)};
         if (shardOf(key) != shard_index)
             misplaced = true;
-        if (cache.records.emplace(key, decodeDoubles(p + 16)).second)
+        if (cache.records.emplace(key, decodeDoubles(p + 24)).second)
             ++count;
     }
     const std::size_t tail = bytes.size() - off;
@@ -302,6 +311,43 @@ EvalRepository::loadV1Cache(const std::string &path,
     if (count > 0)
         inform("cache ", path, ": migrating ", count,
                " format-1 record(s) to format ", kVersion);
+    return count > 0;
+}
+
+bool
+EvalRepository::loadV2Cache(const std::string &path,
+                            const std::string &bytes,
+                            PhaseCache &cache)
+{
+    // Version-2 records predate the chip model: everything in them
+    // was a solo single-core run, so they migrate with chip key 0
+    // and stay bit-exact.
+    std::size_t off = kHeaderSize;
+    std::size_t bad = 0;
+    std::size_t count = 0;
+    while (off + kRecordSizeV2 <= bytes.size()) {
+        const char *p = bytes.data() + off;
+        off += kRecordSizeV2;
+        if (getU64(p + kRecordPayloadV2) !=
+            fnv1a64(p, kRecordPayloadV2)) {
+            ++bad;
+            continue;
+        }
+        const EvalKey key{getU64(p + 8), getU64(p), 0};
+        if (cache.records.emplace(key, decodeDoubles(p + 16)).second)
+            ++count;
+    }
+    const std::size_t tail = bytes.size() - off;
+    if (bad > 0 || tail > 0) {
+        warn("cache ", path, ": dropped ", bad,
+             " corrupt record(s) and ", tail,
+             " torn tail byte(s); they will be re-simulated");
+        dropped_ += bad + (tail > 0 ? 1 : 0);
+        OBS_ONLY(repoMetrics().dropped.add(bad + (tail > 0 ? 1 : 0));)
+    }
+    if (count > 0)
+        inform("cache ", path, ": migrating ", count,
+               " format-2 record(s) to format ", kVersion);
     return count > 0;
 }
 
@@ -382,11 +428,16 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
         const std::string bytes = readFile(path);
         if (bytes.empty())
             continue;
-        if (headerVersion(bytes) == 1) {
-            // Pre-seam file: adopt its records as cycle-level; the
-            // next flush rewrites the store in the current format.
+        const std::uint64_t version = headerVersion(bytes);
+        if (version == 1 || version == 2) {
+            // Pre-chip file: adopt its records (v1 as cycle-level,
+            // both as solo chip key 0); the next flush rewrites the
+            // store in the current format.
             PhaseCache tmp;
-            if (loadV1Cache(path, bytes, tmp))
+            const bool got = version == 1
+                                 ? loadV1Cache(path, bytes, tmp)
+                                 : loadV2Cache(path, bytes, tmp);
+            if (got)
                 adoptRecords(tmp, cache);
             cache.needRewrite = true;
             continue;
@@ -419,9 +470,13 @@ EvalRepository::loadCache(const PhaseSpec &spec, PhaseCache &cache)
     if (hasMagic(legacy_bytes)) {
         PhaseCache tmp;
         bool ignored = false;
+        const std::uint64_t legacy_version =
+            headerVersion(legacy_bytes);
         const bool got =
-            headerVersion(legacy_bytes) == 1
+            legacy_version == 1
                 ? loadV1Cache(legacy, legacy_bytes, tmp)
+            : legacy_version == 2
+                ? loadV2Cache(legacy, legacy_bytes, tmp)
                 : loadBinaryCache(legacy, legacy_bytes, tmp, 0,
                                   ignored);
         if (got) {
@@ -529,7 +584,8 @@ EvalRepository::evaluateImpl(const PhaseSpec &spec,
         MutexLock lock(mutex_);
         auto &cache = cacheFor(spec);
         for (const std::uint64_t tag : tags) {
-            const auto it = cache.records.find(EvalKey{tag, code});
+            const auto it = cache.records.find(
+                EvalKey{tag, code, spec.chipMix});
             if (it != cache.records.end()) {
                 ++hits_;
                 OBS_ONLY(repoMetrics().hit.add(1);)
@@ -556,7 +612,7 @@ EvalRepository::evaluateImpl(const PhaseSpec &spec,
     // The record is stored — and accounted — under the model that
     // actually produced it, so a cascade escalation yields a real
     // cycle-level record other backends can reuse.
-    const EvalKey key{producer->cacheTag(), code};
+    const EvalKey key{producer->cacheTag(), code, spec.chipMix};
     MutexLock lock(mutex_);
     simSeconds_ += secs;
     ++simulated_;
@@ -631,7 +687,7 @@ EvalRepository::peekCached(const PhaseSpec &spec,
     MutexLock lock(mutex_);
     auto &cache = cacheFor(spec);
     for (const std::uint64_t tag : tags) {
-        if (cache.records.count(EvalKey{tag, code}) > 0)
+        if (cache.records.count(EvalKey{tag, code, spec.chipMix}) > 0)
             return true;
     }
     return false;
@@ -818,7 +874,8 @@ EvalRepository::records(const PhaseSpec &spec,
     auto &cache = cacheFor(spec);
     std::vector<std::pair<std::uint64_t, EvalRecord>> out;
     for (const auto &[key, r] : cache.records) {
-        if (key.backendTag == backendTag)
+        if (key.backendTag == backendTag &&
+            key.chipKey == spec.chipMix)
             out.emplace_back(key.code, r);
     }
     std::sort(out.begin(), out.end(),

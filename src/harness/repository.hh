@@ -18,22 +18,25 @@
  * for shard 0 and `<key>.s<i>.evc` for shards 1..N-1, a record's
  * shard chosen by its EvalKey hash.  Every shard file carries the
  * same format: a 24-byte header (8-byte magic "ADSIMEVC",
- * little-endian u64 version — now 2 — FNV-1a checksum of the first
- * 16 bytes) followed by fixed-size 80-byte records — config code
- * (u64), backend cache tag (u64), the seven EvalRecord doubles
- * bit-exact, and a per-record FNV-1a checksum.  Files are created by
- * atomic rename and extended by append+fsync, so completed records
- * survive a `kill -9` at any point; a torn tail or corrupt record
- * fails its checksum and is simply re-simulated.  Incremental
- * flushing is accounted per shard (every shard buffers up to
+ * little-endian u64 version — now 3 — FNV-1a checksum of the first
+ * 16 bytes) followed by fixed-size 88-byte records — config code
+ * (u64), backend cache tag (u64), chip-mix key (u64; 0 = solo
+ * single-core), the seven EvalRecord doubles bit-exact, and a
+ * per-record FNV-1a checksum.  Files are created by atomic rename
+ * and extended by append+fsync, so completed records survive a
+ * `kill -9` at any point; a torn tail or corrupt record fails its
+ * checksum and is simply re-simulated.  Incremental flushing is
+ * accounted per shard (every shard buffers up to
  * ADAPTSIM_FLUSH_EVERY records) and each shard appends under its own
  * file lock, so concurrent writers to different shards never
  * serialize on one flush.  A store written under a different shard
  * count is adopted wholesale and atomically rewritten in the current
- * layout on the next flush (stray shard files removed).  Version-1
- * files (72-byte records without the backend tag) are migrated on
- * load: their records are adopted as cycle-level (tag 0 — the
- * pre-seam backend) and rewritten in the current format on the next
+ * layout on the next flush (stray shard files removed).  Older
+ * versions migrate on load: version-2 records (80 bytes, no chip-mix
+ * word) predate the chip model and are adopted with chip key 0 (all
+ * of them were solo runs); version-1 records (72 bytes, no backend
+ * tag either) are adopted as solo cycle-level (tag 0 — the pre-seam
+ * backend).  Both are rewritten in the current format on the next
  * flush.  Pre-format CSV caches (`<key>.csv`) are detected by header
  * sniffing, merged in, and rewritten the same way.
  */
@@ -73,6 +76,13 @@ struct PhaseSpec
     std::uint64_t warmLength = 0;
     std::uint64_t detailLength = 0;
 
+    /** Chip co-run identity (workload::CoRunMix::key() combined with
+     *  uarch::ChipConfig::key()); 0 means a solo single-core phase,
+     *  which is every spec that predates the chip model.  Nonzero
+     *  mixes get their own cache-file stem, so solo stores keep
+     *  their existing file names. */
+    std::uint64_t chipMix = 0;
+
     /** Stable cache-file stem for this spec. */
     std::string key() const;
 };
@@ -103,18 +113,20 @@ struct EvalKey
 {
     std::uint64_t backendTag = 0;   ///< sim::PerfModel::cacheTag()
     std::uint64_t code = 0;         ///< space::Configuration::encode()
+    std::uint64_t chipKey = 0;      ///< chip-mix identity; 0 = solo
 
     bool operator==(const EvalKey &) const = default;
 };
 
-/** Mixing hash so (tag, code) pairs spread over the table even when
- *  codes collide across backends. */
+/** Mixing hash so (tag, code, chip) tuples spread over the table
+ *  even when codes collide across backends or mixes. */
 struct EvalKeyHash
 {
     std::size_t operator()(const EvalKey &k) const
     {
         std::uint64_t h =
             k.code + 0x9e3779b97f4a7c15ULL * (k.backendTag + 1);
+        h += 0xc2b2ae3d27d4eb4fULL * k.chipKey;
         h ^= h >> 33;
         h *= 0xff51afd7ed558ccdULL;
         h ^= h >> 33;
@@ -352,6 +364,9 @@ class EvalRepository
                          std::size_t shard_index, bool &misplaced)
         ADAPTSIM_REQUIRES(mutex_);
     bool loadV1Cache(const std::string &path,
+                     const std::string &bytes, PhaseCache &cache)
+        ADAPTSIM_REQUIRES(mutex_);
+    bool loadV2Cache(const std::string &path,
                      const std::string &bytes, PhaseCache &cache)
         ADAPTSIM_REQUIRES(mutex_);
     void adoptRecords(const PhaseCache &from, PhaseCache &cache)

@@ -55,6 +55,7 @@ enum class Fidelity
 const char *fidelityName(Fidelity f);
 
 class PerfModel;
+class ChipSession;
 
 /**
  * One configured simulated core owned by a backend: caches and
@@ -183,6 +184,20 @@ class PerfModel
     virtual std::unique_ptr<CoreSession>
     makeSession(const uarch::CoreConfig &cfg,
                 workload::WrongPathGenerator &wrong_path) const = 0;
+
+    /**
+     * Create a fresh multi-core session for @p cfg (one wrong-path
+     * source per core).  The default is the backend-agnostic proxy
+     * session (sim/chip_session.hh), which measures interference
+     * functionally and folds it into per-core effective memory
+     * latency; the cycle backend overrides this with the detailed
+     * uarch::Chip.  A one-core chip delegates to makeSession() and
+     * stays bit-identical to the single-core seam.
+     */
+    virtual std::unique_ptr<ChipSession>
+    makeChipSession(const uarch::ChipConfig &cfg,
+                    const std::vector<workload::WrongPathGenerator *>
+                        &wrong_paths) const;
 
     /**
      * Instrumented timing run: bumps the "backend/<name>/evals"

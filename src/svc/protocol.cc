@@ -55,16 +55,22 @@ takeDouble(std::string_view in, std::size_t &off, double &out)
 }
 
 bool
-decodeRequestBody(std::string_view body, EvalRequestMsg &out)
+decodeRequestBody(std::string_view body, EvalRequestMsg &out,
+                  bool has_chip)
 {
     std::size_t off = 0;
-    return takeU64(body, off, out.id) &&
-           getString(body, off, out.spec.workload) &&
-           takeU64(body, off, out.spec.programLength) &&
-           takeU64(body, off, out.spec.startInst) &&
-           takeU64(body, off, out.spec.warmLength) &&
-           takeU64(body, off, out.spec.detailLength) &&
-           takeU64(body, off, out.configCode) &&
+    if (!(takeU64(body, off, out.id) &&
+          getString(body, off, out.spec.workload) &&
+          takeU64(body, off, out.spec.programLength) &&
+          takeU64(body, off, out.spec.startInst) &&
+          takeU64(body, off, out.spec.warmLength) &&
+          takeU64(body, off, out.spec.detailLength)))
+        return false;
+    // Version-1 requests predate the chip model: all solo.
+    out.spec.chipMix = 0;
+    if (has_chip && !takeU64(body, off, out.spec.chipMix))
+        return false;
+    return takeU64(body, off, out.configCode) &&
            getString(body, off, out.backend) && off == body.size();
 }
 
@@ -143,6 +149,7 @@ encodeFrame(const EvalRequestMsg &msg)
     putU64(p, msg.spec.startInst);
     putU64(p, msg.spec.warmLength);
     putU64(p, msg.spec.detailLength);
+    putU64(p, msg.spec.chipMix);
     putU64(p, msg.configCode);
     putString(p, msg.backend);
     return sealFrame(std::move(p));
@@ -187,13 +194,13 @@ decodePayload(std::string_view payload, Message &out)
         return ErrorCode::BadFrame;
     const auto version =
         static_cast<std::uint8_t>(payload[0]);
-    if (version != kProtocolVersion)
+    if (version != 1 && version != kProtocolVersion)
         return ErrorCode::BadVersion;
     const std::string_view body = payload.substr(2, body_end - 2);
     switch (static_cast<MsgType>(payload[1])) {
     case MsgType::EvalRequest:
         out.type = MsgType::EvalRequest;
-        return decodeRequestBody(body, out.request)
+        return decodeRequestBody(body, out.request, version >= 2)
                    ? ErrorCode::None
                    : ErrorCode::BadFrame;
     case MsgType::EvalReply:

@@ -6,7 +6,7 @@
  * domain socket:
  *
  *     frame   := u32 payload-length (little-endian) | payload
- *     payload := u8 version (=1) | u8 type | body | u64 checksum
+ *     payload := u8 version (=2) | u8 type | body | u64 checksum
  *
  * The checksum is the FNV-1a hash of everything before it (version,
  * type and body), so a flipped bit anywhere in the payload is caught
@@ -19,15 +19,19 @@
  *
  *   EvalRequest  u64 id | str workload | u64 programLength |
  *                u64 startInst | u64 warmLength | u64 detailLength |
- *                u64 configCode | str backend ("" = server default)
+ *                u64 chipMix | u64 configCode |
+ *                str backend ("" = server default)
  *   EvalReply    u64 id | 7 doubles (EvalRecord, bit-exact) |
  *                str producer | u8 cacheHit
  *   Error        u64 id (0 = not attributable) | u8 code | str text
  *
  * Request ids are chosen by the client and echoed verbatim, so a
- * pipelined client can match out-of-order replies.  Everything here
- * is pure byte manipulation — no sockets — so the protocol tests can
- * fuzz it directly.
+ * pipelined client can match out-of-order replies.  Version-1 frames
+ * (no chipMix word in EvalRequest — every pre-chip request was a
+ * solo evaluation) are still decoded, with chipMix 0; encoders
+ * always emit the current version.  Everything here is pure byte
+ * manipulation — no sockets — so the protocol tests can fuzz it
+ * directly.
  */
 
 #ifndef ADAPTSIM_SVC_PROTOCOL_HH
@@ -42,8 +46,10 @@
 namespace adaptsim::svc
 {
 
-/** Protocol revision carried in every payload's first byte. */
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/** Protocol revision carried in every payload's first byte.
+ *  Version 2 added the chip-mix word to EvalRequest; version-1
+ *  payloads are still accepted on decode (chipMix 0). */
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /** Hard ceiling on one frame's payload size (1 MiB). */
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;

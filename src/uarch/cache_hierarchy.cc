@@ -1,21 +1,53 @@
 #include "uarch/cache_hierarchy.hh"
 
+#include "power/frequency.hh"
+
 namespace adaptsim::uarch
 {
 
-CacheHierarchy::CacheHierarchy(const CoreConfig &cfg)
+CacheHierarchy::CacheHierarchy(const CoreConfig &cfg, SharedLlc *llc,
+                               unsigned core_id)
     : cfg_(cfg),
       icache_(cfg.icacheBytes, CoreConfig::l1Assoc,
               CoreConfig::cacheLineBytes),
       dcache_(cfg.dcacheBytes, CoreConfig::l1Assoc,
               CoreConfig::cacheLineBytes),
       l2_(cfg.l2Bytes, CoreConfig::l2Assoc,
-          CoreConfig::cacheLineBytes)
+          CoreConfig::cacheLineBytes),
+      llc_(llc), coreId_(core_id)
 {
+    // Period ∝ depth + latch overhead (power/frequency.cc), so these
+    // integer unit counts give the exact clock-ratio rational.
+    const auto overhead =
+        static_cast<std::uint64_t>(power::latchOverheadFo4);
+    corePeriodUnits_ = std::uint64_t(cfg.depthFo4) + overhead;
+    llcPeriodUnits_ =
+        std::uint64_t(LlcConfig::referenceDepthFo4) + overhead;
 }
 
 int
-CacheHierarchy::fetchAccess(Addr pc, EventCounts &ev, SimObserver *obs)
+CacheHierarchy::beyondL2(Addr addr, bool write, EventCounts &ev,
+                         Cycles now)
+{
+    if (!llc_) {
+        ++ev.memAccesses;
+        return cfg_.memLatency;
+    }
+    ++ev.llcAccesses;
+    const auto out = llc_->access(physical(addr), write, coreId_,
+                                  toLlcTicks(timeBase_ + now));
+    ev.llcQueueCycles +=
+        std::uint64_t(toCoreCycles(out.queueCycles));
+    if (!out.hit) {
+        ++ev.llcMisses;
+        ++ev.memAccesses;
+    }
+    return toCoreCycles(out.latency);
+}
+
+int
+CacheHierarchy::fetchAccess(Addr pc, EventCounts &ev, SimObserver *obs,
+                            Cycles now)
 {
     ++ev.icAccesses;
     if (obs)
@@ -33,13 +65,13 @@ CacheHierarchy::fetchAccess(Addr pc, EventCounts &ev, SimObserver *obs)
         return cfg_.icacheLatency + cfg_.l2Latency;
 
     ++ev.l2Misses;
-    ++ev.memAccesses;
-    return cfg_.icacheLatency + cfg_.l2Latency + cfg_.memLatency;
+    return cfg_.icacheLatency + cfg_.l2Latency +
+           beyondL2(pc, false, ev, now);
 }
 
 int
 CacheHierarchy::dataAccess(Addr addr, bool write, EventCounts &ev,
-                           SimObserver *obs)
+                           SimObserver *obs, Cycles now)
 {
     ++ev.dcAccesses;
     if (obs)
@@ -59,23 +91,24 @@ CacheHierarchy::dataAccess(Addr addr, bool write, EventCounts &ev,
         return cfg_.dcacheLatency + cfg_.l2Latency;
 
     ++ev.l2Misses;
-    ++ev.memAccesses;
-    return cfg_.dcacheLatency + cfg_.l2Latency + cfg_.memLatency;
+    return cfg_.dcacheLatency + cfg_.l2Latency +
+           beyondL2(addr, l1.writeback, ev, now);
 }
 
 void
 CacheHierarchy::warmFetch(Addr pc)
 {
-    if (!icache_.access(pc, false).hit)
-        l2_.access(pc, false);
+    if (!icache_.access(pc, false).hit &&
+        !l2_.access(pc, false).hit && llc_)
+        llc_->warmAccess(physical(pc), false, coreId_);
 }
 
 void
 CacheHierarchy::warmData(Addr addr, bool write)
 {
     const auto l1 = dcache_.access(addr, write);
-    if (!l1.hit)
-        l2_.access(addr, l1.writeback);
+    if (!l1.hit && !l2_.access(addr, l1.writeback).hit && llc_)
+        llc_->warmAccess(physical(addr), l1.writeback, coreId_);
 }
 
 } // namespace adaptsim::uarch

@@ -1,0 +1,152 @@
+#include "uarch/chip.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace adaptsim::uarch
+{
+
+Chip::Chip(const ChipConfig &cfg,
+           const std::vector<workload::WrongPathGenerator *>
+               &wrong_paths)
+    : cfg_(cfg), wrongPaths_(wrong_paths)
+{
+    const std::size_t n = cfg_.numCores();
+    if (n == 0)
+        panic("Chip: need at least one core");
+    if (wrong_paths.size() != n)
+        panic("Chip: ", wrong_paths.size(), " wrong-path sources for ",
+              n, " cores");
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!wrong_paths[i])
+            panic("Chip: null wrong-path source for core ", i);
+    }
+
+    // A single-core chip is the original flat-DRAM model: no LLC at
+    // all, so the path below the L2 is bit-identical.
+    if (!cfg_.singleCore()) {
+        LlcConfig llc;
+        llc.bytes = cfg_.llcBytes;
+        llc.assoc = cfg_.llcAssoc;
+        llc.lineBytes = CoreConfig::cacheLineBytes;
+        llc.banks = cfg_.llcBanks;
+        llc.mshrsPerBank = cfg_.llcMshrsPerBank;
+        llc.hitLatency = cfg_.llcLatency;
+        llc.busLatency = cfg_.busLatency;
+        llc.bankService = cfg_.llcBankService;
+        llc_ = std::make_unique<SharedLlc>(
+            llc, static_cast<unsigned>(n));
+    }
+
+    cores_.reserve(n);
+    elapsed_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreConfig derived =
+            CoreConfig::fromConfiguration(cfg_.coreConfigs[i]);
+        cores_.push_back(std::make_unique<Core>(
+            derived, *wrongPaths_[i], llc_.get(),
+            static_cast<unsigned>(i)));
+    }
+}
+
+void
+Chip::warm(std::size_t core, std::span<const isa::MicroOp> trace)
+{
+    if (core >= cores_.size())
+        panic("Chip: warm of core ", core, " on a ", cores_.size(),
+              "-core chip");
+    cores_[core]->warm(trace);
+}
+
+ChipResult
+Chip::run(const std::vector<std::span<const isa::MicroOp>> &traces,
+          const std::vector<SimObserver *> &observers)
+{
+    OBS_SPAN("uarch/chip_run");
+    const std::size_t n = cores_.size();
+    if (traces.size() != n)
+        panic("Chip: ", traces.size(), " traces for ", n, " cores");
+    if (!observers.empty() && observers.size() != n)
+        panic("Chip: ", observers.size(), " observers for ", n,
+              " cores");
+
+    ChipResult res;
+    res.cores.resize(n);
+    res.occupancyShare.assign(n, 0.0);
+    res.sharedMissRatio.assign(n, 0.0);
+
+    auto observer = [&](std::size_t i) -> SimObserver * {
+        return observers.empty() ? nullptr : observers[i];
+    };
+
+    // Single core: one slice, no quantisation — bit-identical to
+    // running uarch::Core directly.
+    const std::uint64_t quantum =
+        cfg_.singleCore() ? ~std::uint64_t(0)
+                          : std::max<std::uint64_t>(1, cfg_.quantum);
+
+    std::vector<std::size_t> pos(n, 0);
+    for (;;) {
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &trace = traces[i];
+            if (pos[i] >= trace.size())
+                continue;
+            any = true;
+            const std::size_t len = static_cast<std::size_t>(
+                std::min<std::uint64_t>(quantum,
+                                        trace.size() - pos[i]));
+            cores_[i]->setTimeBase(elapsed_[i]);
+            const SimResult r = cores_[i]->run(
+                trace.subspan(pos[i], len), observer(i));
+            res.cores[i].cycles += r.cycles;
+            res.cores[i].events.merge(r.events);
+            elapsed_[i] += r.cycles;
+            pos[i] += len;
+            OBS_ONLY({
+                obs::Registry::global()
+                    .counter("chip/core/" + std::to_string(i) +
+                             "/quanta")
+                    .add(1);
+            });
+        }
+        if (!any)
+            break;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const EventCounts &ev = res.cores[i].events;
+        if (llc_)
+            res.occupancyShare[i] =
+                llc_->occupancyShare(static_cast<unsigned>(i));
+        res.sharedMissRatio[i] =
+            ev.llcAccesses
+                ? double(ev.llcMisses) / double(ev.llcAccesses)
+                : 0.0;
+        OBS_ONLY({
+            obs::Registry::global()
+                .counter("chip/core/" + std::to_string(i) +
+                         "/committed_ops")
+                .add(ev.committedOps);
+        });
+    }
+    return res;
+}
+
+void
+Chip::reconfigureCore(std::size_t core, const space::Configuration &c)
+{
+    if (core >= cores_.size())
+        panic("Chip: reconfigure of core ", core, " on a ",
+              cores_.size(), "-core chip");
+    cfg_.coreConfigs[core] = c;
+    const CoreConfig derived = CoreConfig::fromConfiguration(c);
+    cores_[core] = std::make_unique<Core>(
+        derived, *wrongPaths_[core], llc_.get(),
+        static_cast<unsigned>(core));
+}
+
+} // namespace adaptsim::uarch

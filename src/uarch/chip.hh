@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-core chip model: N cores with private L1/L2 hierarchies over
+ * one shared, banked LLC, driven by a round-robin interleaved cycle
+ * loop (DESIGN.md §15).
+ *
+ * Interleaving is quantum-based in the Graphite/Pac-Sim lax-
+ * synchronisation style: each core advances `quantum` µops per turn
+ * on its own private clock, and cross-core timing only meets at the
+ * shared LLC, where accesses are stamped with the owning core's
+ * absolute elapsed time.  A one-core chip attaches no LLC and runs
+ * the trace in a single slice, making it bit-identical to the
+ * original single-core uarch::Core path (the frozen golden matrix
+ * holds on both).
+ */
+
+#ifndef ADAPTSIM_UARCH_CHIP_HH
+#define ADAPTSIM_UARCH_CHIP_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "uarch/core.hh"
+#include "uarch/core_config.hh"
+#include "uarch/shared_llc.hh"
+
+namespace adaptsim::uarch
+{
+
+/** Result of one multi-core timing run. */
+struct ChipResult
+{
+    /** Per-core timing and events (cycles are per-core clocks). */
+    std::vector<SimResult> cores;
+
+    /** Per-core fraction of LLC lines owned at the end of the run
+     *  (all zero on a single-core chip). */
+    std::vector<double> occupancyShare;
+
+    /** Per-core LLC miss ratio over this run's accesses (zero on a
+     *  single-core chip). */
+    std::vector<double> sharedMissRatio;
+};
+
+/** N cores + shared LLC, round-robin interleaved. */
+class Chip
+{
+  public:
+    /**
+     * @param cfg chip geometry; one core config per core.
+     * @param wrong_paths one wrong-path µop source per core (their
+     *        lifetime must cover the chip's).
+     */
+    Chip(const ChipConfig &cfg,
+         const std::vector<workload::WrongPathGenerator *>
+             &wrong_paths);
+
+    /** Functionally warm one core's private hierarchy (and the
+     *  shared LLC) with @p trace. */
+    void warm(std::size_t core, std::span<const isa::MicroOp> trace);
+
+    /**
+     * Timed co-run: one trace per core (empty spans are allowed and
+     * leave that core idle).  @p observers is either empty or one
+     * (possibly null) observer per core.
+     */
+    ChipResult
+    run(const std::vector<std::span<const isa::MicroOp>> &traces,
+        const std::vector<SimObserver *> &observers = {});
+
+    /**
+     * Rebuild one core at a new design point, modelling the
+     * reconfiguration flush (private caches and predictor restart
+     * cold; the shared LLC keeps its contents).  The core's elapsed
+     * clock is preserved.
+     */
+    void reconfigureCore(std::size_t core,
+                         const space::Configuration &c);
+
+    const ChipConfig &config() const { return cfg_; }
+    std::size_t numCores() const { return cores_.size(); }
+    Core &core(std::size_t i) { return *cores_[i]; }
+    const Core &core(std::size_t i) const { return *cores_[i]; }
+
+    /** The shared LLC, or nullptr on a single-core chip. */
+    const SharedLlc *llc() const { return llc_.get(); }
+
+    /** Core @p i's accumulated clock across run() calls. */
+    Cycles elapsed(std::size_t i) const { return elapsed_[i]; }
+
+  private:
+    ChipConfig cfg_;
+    std::vector<workload::WrongPathGenerator *> wrongPaths_;
+    std::unique_ptr<SharedLlc> llc_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Cycles> elapsed_;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_CHIP_HH

@@ -6,8 +6,9 @@ namespace adaptsim::uarch
 {
 
 Core::Core(const CoreConfig &cfg,
-           workload::WrongPathGenerator &wrong_path)
-    : cfg_(cfg), caches_(cfg),
+           workload::WrongPathGenerator &wrong_path,
+           SharedLlc *llc, unsigned core_id)
+    : cfg_(cfg), caches_(cfg, llc, core_id),
       bpred_(cfg.gshareEntries, cfg.btbEntries,
              CoreConfig::btbAssoc),
       wrongPath_(wrong_path)

@@ -26,9 +26,13 @@ class Core
     /**
      * @param cfg derived configuration.
      * @param wrong_path wrong-path µop source for this workload.
+     * @param llc shared LLC this core's L2 misses drain into, or
+     *        nullptr for the single-core flat-DRAM model.
+     * @param core_id index of this core at the shared level.
      */
     Core(const CoreConfig &cfg,
-         workload::WrongPathGenerator &wrong_path);
+         workload::WrongPathGenerator &wrong_path,
+         SharedLlc *llc = nullptr, unsigned core_id = 0);
 
     /**
      * Functionally warm caches and branch predictor with @p trace
@@ -46,6 +50,10 @@ class Core
 
     const CoreConfig &config() const { return cfg_; }
     const CacheHierarchy &caches() const { return caches_; }
+
+    /** Absolute-time base for shared-LLC contention timing; the chip
+     *  loop sets this to the core's elapsed cycles each quantum. */
+    void setTimeBase(Cycles base) { caches_.setTimeBase(base); }
 
   private:
     CoreConfig cfg_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "power/cacti.hh"
 #include "power/frequency.hh"
 
@@ -82,6 +83,57 @@ CoreConfig::toString() const
        << btbEntries << " br" << maxBranches << " ic"
        << icacheBytes / 1024 << "K dc" << dcacheBytes / 1024 << "K l2"
        << l2Bytes / 1024 << "K d" << depthFo4;
+    return os.str();
+}
+
+ChipConfig
+ChipConfig::homogeneous(const space::Configuration &c,
+                        std::size_t cores)
+{
+    if (cores == 0)
+        fatal("ChipConfig: need at least one core");
+    ChipConfig chip;
+    chip.coreConfigs.assign(cores, c);
+    return chip;
+}
+
+std::uint64_t
+ChipConfig::key() const
+{
+    if (singleCore())
+        return 0;
+    std::uint64_t h = kFnvBasis;
+    const std::uint64_t n = coreConfigs.size();
+    h = fnv1a64(&n, sizeof(n), h);
+    for (const auto &c : coreConfigs) {
+        const std::uint64_t code = c.encode();
+        h = fnv1a64(&code, sizeof(code), h);
+    }
+    const std::uint64_t geom[] = {
+        llcBytes,
+        std::uint64_t(llcAssoc),
+        std::uint64_t(llcBanks),
+        std::uint64_t(llcMshrsPerBank),
+        std::uint64_t(llcLatency),
+        std::uint64_t(busLatency),
+        std::uint64_t(llcBankService),
+        quantum,
+    };
+    h = fnv1a64(geom, sizeof(geom), h);
+    // 0 is reserved for "single-core / no chip context".
+    return h ? h : 1;
+}
+
+std::string
+ChipConfig::toString() const
+{
+    std::ostringstream os;
+    os << numCores() << " core(s)";
+    for (const auto &c : coreConfigs)
+        os << " [" << c.key() << "]";
+    if (!singleCore())
+        os << " llc" << llcBytes / 1024 << "K/" << llcAssoc << "w/"
+           << llcBanks << "b q" << quantum;
     return os.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "space/configuration.hh"
 
@@ -73,6 +74,50 @@ struct CoreConfig
     void derive();
 
     /** Compact human-readable summary. */
+    std::string toString() const;
+};
+
+/**
+ * One multi-core chip: per-core design-space points plus the shared
+ * LLC and interconnect geometry below the private L2s.  A one-core
+ * chip carries no shared LLC at all and is bit-identical to the
+ * original single-core model (DESIGN.md §15).
+ */
+struct ChipConfig
+{
+    /** One Table I point per core (adaptivity is per core). */
+    std::vector<space::Configuration> coreConfigs;
+
+    // Shared L3 geometry (unused when numCores() == 1).
+    std::uint64_t llcBytes = 8 * 1024 * 1024;
+    int llcAssoc = 16;
+    int llcBanks = 8;
+    int llcMshrsPerBank = 8;
+    int llcLatency = 30;       ///< LLC hit latency (cycles)
+    int busLatency = 8;        ///< core↔LLC transfer (cycles)
+    int llcBankService = 4;    ///< bank busy time per request
+
+    /** µops per core per round-robin slice of the chip loop. */
+    std::uint64_t quantum = 2000;
+
+    std::size_t numCores() const { return coreConfigs.size(); }
+
+    /** True when the chip degenerates to the single-core model. */
+    bool singleCore() const { return coreConfigs.size() == 1; }
+
+    /** All cores at the same design point. */
+    static ChipConfig homogeneous(const space::Configuration &c,
+                                  std::size_t cores);
+
+    /**
+     * Stable 64-bit key over core configurations and shared
+     * geometry, mixed into evaluation-cache keys.  Defined as 0 for
+     * a single-core chip so single-core results keep their
+     * pre-chip cache identity.
+     */
+    std::uint64_t key() const;
+
+    /** "2xCore{...} LLC=8MB/16w/8b" style summary. */
     std::string toString() const;
 };
 

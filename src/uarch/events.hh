@@ -35,6 +35,11 @@ struct EventCounts
     std::uint64_t l2Accesses = 0, l2Misses = 0;
     std::uint64_t memAccesses = 0;
 
+    // Shared LLC (multi-core chips only; zero on a private-only
+    // hierarchy).
+    std::uint64_t llcAccesses = 0, llcMisses = 0;
+    std::uint64_t llcQueueCycles = 0;   ///< bank-queue + MSHR waits
+
     // Branch prediction.
     std::uint64_t bpredLookups = 0;
     std::uint64_t bpredUpdates = 0;
@@ -88,6 +93,9 @@ struct EventCounts
         l2Accesses += o.l2Accesses;
         l2Misses += o.l2Misses;
         memAccesses += o.memAccesses;
+        llcAccesses += o.llcAccesses;
+        llcMisses += o.llcMisses;
+        llcQueueCycles += o.llcQueueCycles;
         bpredLookups += o.bpredLookups;
         bpredUpdates += o.bpredUpdates;
         condBranches += o.condBranches;

@@ -88,7 +88,7 @@ Pipeline::execLatency(RobEntry &e)
         if (e.forwarded)
             return 1;
         return caches_.dataAccess(e.op.effAddr, false, ev_,
-                                  observer_);
+                                  observer_, now_);
       default:
         panic("execLatency of invalid op class");
     }
@@ -261,7 +261,8 @@ Pipeline::commitStage()
 
         if (e.op.isStore()) {
             // Retire the store data into the cache hierarchy.
-            caches_.dataAccess(e.op.effAddr, true, ev_, observer_);
+            caches_.dataAccess(e.op.effAddr, true, ev_, observer_,
+                               now_);
             lsq_.remove(idx);
             e.inLsq = false;
             if (e.speculative)
@@ -495,7 +496,7 @@ Pipeline::fetchStage()
         const Addr line = op->pc / CoreConfig::cacheLineBytes;
         if (line != lastFetchLine_) {
             const int lat =
-                caches_.fetchAccess(op->pc, ev_, observer_);
+                caches_.fetchAccess(op->pc, ev_, observer_, now_);
             lastFetchLine_ = line;
             if (lat > cfg_.icacheLatency) {
                 extra_delay = lat;

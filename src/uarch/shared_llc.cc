@@ -1,0 +1,200 @@
+#include "uarch/shared_llc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adaptsim::uarch
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SharedLlc::SharedLlc(const LlcConfig &cfg, unsigned num_cores)
+    : cfg_(cfg), numCores_(num_cores)
+{
+    if (num_cores == 0)
+        fatal("SharedLlc: need at least one core");
+    if (cfg_.assoc <= 0 || cfg_.lineBytes <= 0 || cfg_.banks <= 0 ||
+        cfg_.mshrsPerBank <= 0)
+        fatal("SharedLlc: non-positive geometry parameter");
+    numSets_ = cfg_.bytes /
+               (std::uint64_t(cfg_.assoc) * cfg_.lineBytes);
+    if (numSets_ == 0 || !isPow2(numSets_))
+        fatal("SharedLlc: sets must be a positive power of two "
+              "(bytes=", cfg_.bytes, " assoc=", cfg_.assoc,
+              " line=", cfg_.lineBytes, ")");
+    if (!isPow2(std::uint64_t(cfg_.banks)))
+        fatal("SharedLlc: banks must be a power of two (",
+              cfg_.banks, ")");
+    lines_.resize(numSets_ * cfg_.assoc);
+    banks_.resize(std::size_t(cfg_.banks));
+    for (auto &b : banks_)
+        b.mshrs.reserve(std::size_t(cfg_.mshrsPerBank));
+    stats_.resize(num_cores);
+}
+
+bool
+SharedLlc::lookupFill(Addr addr, bool write, unsigned core)
+{
+    const Addr block = addr / std::uint64_t(cfg_.lineBytes);
+    Line *base = &lines_[setIndex(addr) * cfg_.assoc];
+    Line *victim = base;
+    for (int w = 0; w < cfg_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.tag == block) {
+            line.lruStamp = ++lruClock_;
+            line.dirty = line.dirty || write;
+            return true;
+        }
+        if (victim->tag != invalidAddr &&
+            (line.tag == invalidAddr ||
+             line.lruStamp < victim->lruStamp))
+            victim = &line;
+    }
+    if (victim->tag == invalidAddr)
+        ++validLines_;
+    else
+        --stats_[victim->owner].linesOwned;
+    victim->tag = block;
+    victim->lruStamp = ++lruClock_;
+    victim->owner = static_cast<std::uint16_t>(core);
+    victim->dirty = write;
+    ++stats_[core].linesOwned;
+    return false;
+}
+
+SharedLlc::Outcome
+SharedLlc::access(Addr addr, bool write, unsigned core, Cycles now)
+{
+    MutexLock lock(mu_);
+    if (core >= numCores_)
+        panic("SharedLlc: core ", core, " out of range (",
+              numCores_, " cores)");
+
+    CoreStats &cs = stats_[core];
+    ++cs.accesses;
+
+    // Bank queue: one request per bankService cycles.
+    Bank &bank = banks_[bankIndex(addr)];
+    const Cycles start = std::max(now, bank.nextFree);
+    Cycles wait = start - now;
+    bank.nextFree = start + Cycles(cfg_.bankService);
+
+    Outcome out;
+    out.hit = lookupFill(addr, write, core);
+    if (out.hit) {
+        ++cs.hits;
+        out.queueCycles = static_cast<int>(wait);
+        out.latency =
+            cfg_.busLatency + cfg_.hitLatency + out.queueCycles;
+        cs.queueCycles += std::uint64_t(out.queueCycles);
+        return out;
+    }
+
+    ++cs.misses;
+    // MSHR admission: prune completed misses, then wait for the
+    // earliest outstanding one if all MSHRs are busy.
+    auto &mshrs = bank.mshrs;
+    Cycles issue = start;
+    std::erase_if(mshrs,
+                  [issue](Cycles done) { return done <= issue; });
+    if (mshrs.size() >= std::size_t(cfg_.mshrsPerBank)) {
+        const Cycles earliest =
+            *std::min_element(mshrs.begin(), mshrs.end());
+        wait += earliest - issue;
+        issue = earliest;
+        std::erase_if(mshrs, [earliest](Cycles done) {
+            return done <= earliest;
+        });
+    }
+    const Cycles done =
+        issue + Cycles(cfg_.hitLatency) + Cycles(cfg_.memLatency);
+    mshrs.push_back(done);
+
+    out.queueCycles = static_cast<int>(wait);
+    out.latency = cfg_.busLatency + cfg_.hitLatency +
+                  cfg_.memLatency + out.queueCycles;
+    cs.queueCycles += std::uint64_t(out.queueCycles);
+    return out;
+}
+
+void
+SharedLlc::warmAccess(Addr addr, bool write, unsigned core)
+{
+    MutexLock lock(mu_);
+    if (core >= numCores_)
+        panic("SharedLlc: core ", core, " out of range (",
+              numCores_, " cores)");
+    lookupFill(addr, write, core);
+}
+
+SharedLlc::CoreStats
+SharedLlc::coreStats(unsigned core) const
+{
+    MutexLock lock(mu_);
+    if (core >= numCores_)
+        panic("SharedLlc: core ", core, " out of range (",
+              numCores_, " cores)");
+    return stats_[core];
+}
+
+double
+SharedLlc::occupancyShare(unsigned core) const
+{
+    MutexLock lock(mu_);
+    if (core >= numCores_)
+        panic("SharedLlc: core ", core, " out of range (",
+              numCores_, " cores)");
+    const std::uint64_t total = numSets_ * std::uint64_t(cfg_.assoc);
+    return total ? double(stats_[core].linesOwned) / double(total)
+                 : 0.0;
+}
+
+double
+SharedLlc::sharedMissRatio(unsigned core) const
+{
+    MutexLock lock(mu_);
+    if (core >= numCores_)
+        panic("SharedLlc: core ", core, " out of range (",
+              numCores_, " cores)");
+    const CoreStats &cs = stats_[core];
+    return cs.accesses ? double(cs.misses) / double(cs.accesses)
+                       : 0.0;
+}
+
+void
+SharedLlc::resetStats()
+{
+    MutexLock lock(mu_);
+    for (auto &cs : stats_) {
+        const std::uint64_t owned = cs.linesOwned;
+        cs = CoreStats{};
+        cs.linesOwned = owned;
+    }
+}
+
+void
+SharedLlc::flush()
+{
+    MutexLock lock(mu_);
+    for (auto &line : lines_)
+        line = Line{};
+    for (auto &bank : banks_) {
+        bank.nextFree = 0;
+        bank.mshrs.clear();
+    }
+    for (auto &cs : stats_)
+        cs.linesOwned = 0;
+    validLines_ = 0;
+}
+
+} // namespace adaptsim::uarch

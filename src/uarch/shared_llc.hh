@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared last-level cache with bank and MSHR contention.
+ *
+ * One SharedLlc sits below every core's private L2 on a chip
+ * (DESIGN.md §15).  Tags are set-associative with true LRU, like the
+ * private uarch::Cache, but each line additionally records the core
+ * that filled it so per-core occupancy can be read back as a model
+ * feature.  Timing adds three contention terms on top of the hit
+ * latency:
+ *
+ *   bus        fixed request/response transfer latency
+ *   bank queue a bank serves one request per `bankService` cycles;
+ *              requests arriving while it is busy wait
+ *   MSHRs      each bank tracks `mshrsPerBank` outstanding misses; a
+ *              miss arriving with all MSHRs busy waits for the
+ *              earliest one to complete
+ *
+ * Thread-safe by construction: every public entry point takes the one
+ * internal Mutex (annotated, common/sync.hh), so concurrent cores —
+ * or a future threaded chip loop — can share an instance.  The chip's
+ * round-robin loop is single-threaded and deterministic; the lock is
+ * for safety, not ordering.
+ */
+
+#ifndef ADAPTSIM_UARCH_SHARED_LLC_HH
+#define ADAPTSIM_UARCH_SHARED_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.hh"
+#include "common/types.hh"
+
+namespace adaptsim::uarch
+{
+
+/**
+ * Geometry and timing of one shared LLC instance.
+ *
+ * All latencies are cycles of the chip's fixed *reference clock* —
+ * the mid-range 12 FO4/stage design point — not of any particular
+ * core's clock.  Cores whose pipeline depth (and therefore clock)
+ * differs convert at the boundary: the shared fabric and DRAM take
+ * the same wall-time regardless of how any one core is clocked.
+ */
+struct LlcConfig
+{
+    /** Pipeline depth whose clock defines the LLC's cycle unit. */
+    static constexpr int referenceDepthFo4 = 12;
+
+    std::uint64_t bytes = 8 * 1024 * 1024;
+    int assoc = 16;
+    int lineBytes = 64;
+    int banks = 8;            ///< power of two
+    int mshrsPerBank = 8;     ///< outstanding misses per bank
+    int hitLatency = 30;      ///< tag+data access (reference cycles)
+    int busLatency = 8;       ///< core→LLC→core transfer (ref cycles)
+    int bankService = 4;      ///< bank busy time per request
+    int memLatency = 200;     ///< DRAM latency below the LLC
+};
+
+/** Banked, multi-core-aware shared L3 model. */
+class SharedLlc
+{
+  public:
+    SharedLlc(const LlcConfig &cfg, unsigned num_cores);
+
+    /** Timing and outcome of one access. */
+    struct Outcome
+    {
+        bool hit = false;
+        int latency = 0;        ///< total, incl. queueing
+        int queueCycles = 0;    ///< bank-queue + MSHR wait share
+    };
+
+    /**
+     * Timed access by @p core at absolute core-clock time @p now.
+     * Misses fill the line (evicting LRU) and mark @p core as owner.
+     */
+    Outcome access(Addr addr, bool write, unsigned core, Cycles now);
+
+    /** Functional warm access: fills tags/ownership, no timing. */
+    void warmAccess(Addr addr, bool write, unsigned core);
+
+    /** Per-core accounting since construction (or reset). */
+    struct CoreStats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t queueCycles = 0;
+        std::uint64_t linesOwned = 0;
+    };
+
+    CoreStats coreStats(unsigned core) const;
+
+    /** Fraction of valid LLC lines currently owned by @p core. */
+    double occupancyShare(unsigned core) const;
+
+    /** @p core's miss ratio at the shared level (misses/accesses). */
+    double sharedMissRatio(unsigned core) const;
+
+    /** Zero every per-core counter (occupancy/tags are kept). */
+    void resetStats();
+
+    /** Invalidate all lines and ownership (stats are kept). */
+    void flush();
+
+    unsigned numCores() const { return numCores_; }
+    const LlcConfig &config() const { return cfg_; }
+    std::uint64_t numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        std::uint32_t lruStamp = 0;
+        std::uint16_t owner = 0;
+        bool dirty = false;
+    };
+
+    struct Bank
+    {
+        Cycles nextFree = 0;
+        std::vector<Cycles> mshrs;   ///< outstanding completion times
+    };
+
+    /** Tag lookup + fill under mu_; returns hit and updates owner
+     *  accounting.  @p now stamps LRU recency deterministically. */
+    bool lookupFill(Addr addr, bool write, unsigned core)
+        ADAPTSIM_REQUIRES(mu_);
+
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr / std::uint64_t(cfg_.lineBytes)) & (numSets_ - 1);
+    }
+
+    std::uint64_t bankIndex(Addr addr) const
+    {
+        return (addr / std::uint64_t(cfg_.lineBytes)) &
+               (std::uint64_t(cfg_.banks) - 1);
+    }
+
+    LlcConfig cfg_;
+    unsigned numCores_;
+    std::uint64_t numSets_;
+
+    mutable Mutex mu_;
+    std::vector<Line> lines_ ADAPTSIM_GUARDED_BY(mu_);
+    std::vector<Bank> banks_ ADAPTSIM_GUARDED_BY(mu_);
+    std::vector<CoreStats> stats_ ADAPTSIM_GUARDED_BY(mu_);
+    std::uint64_t validLines_ ADAPTSIM_GUARDED_BY(mu_) = 0;
+    std::uint32_t lruClock_ ADAPTSIM_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace adaptsim::uarch
+
+#endif // ADAPTSIM_UARCH_SHARED_LLC_HH

@@ -1,0 +1,55 @@
+#include "workload/mix.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/serial.hh"
+#include "workload/spec_suite.hh"
+
+namespace adaptsim::workload
+{
+
+std::uint64_t
+CoRunMix::key() const
+{
+    std::uint64_t h = kFnvBasis;
+    const std::uint64_t n = programs.size();
+    h = fnv1a64(&n, sizeof(n), h);
+    for (const auto &p : programs)
+        h = fnv1a64(p.data(), p.size() + 1, h);
+    return h ? h : 1;
+}
+
+std::vector<CoRunMix>
+specMixes(std::size_t cores, std::size_t count, std::uint64_t seed)
+{
+    const auto &names = specNames();
+    if (cores == 0 || cores > names.size())
+        fatal("specMixes: mix width ", cores, " outside [1, ",
+              names.size(), "]");
+
+    Rng rng(seed);
+    std::vector<CoRunMix> mixes;
+    mixes.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) {
+        // Partial Fisher-Yates over a fresh copy: `cores` distinct
+        // programs per mix, order significant.
+        std::vector<std::string> pool = names;
+        CoRunMix mix;
+        mix.programs.reserve(cores);
+        for (std::size_t c = 0; c < cores; ++c) {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.nextBounded(pool.size() - c));
+            std::swap(pool[c], pool[c + pick]);
+            mix.programs.push_back(pool[c]);
+        }
+        char label[48];
+        std::snprintf(label, sizeof(label), "mix%zu-%02zu", cores, m);
+        mix.name = label;
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace adaptsim::workload

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic co-run mix generator over the synthetic SPEC suite.
+ *
+ * A CoRunMix names one program per chip core.  Mixes are drawn with
+ * the tree's deterministic xoshiro RNG (common/rng.hh) from the
+ * 26-benchmark suite, without replacement within a mix, so the same
+ * (cores, count, seed) triple always yields the same schedule — the
+ * property the versioned chip-mix cache key relies on.
+ */
+
+#ifndef ADAPTSIM_WORKLOAD_MIX_HH
+#define ADAPTSIM_WORKLOAD_MIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptsim::workload
+{
+
+/** One co-scheduled program set, one entry per core. */
+struct CoRunMix
+{
+    std::string name;                     ///< "mix2-00" style label
+    std::vector<std::string> programs;    ///< per-core benchmark name
+
+    std::size_t cores() const { return programs.size(); }
+
+    /**
+     * Stable 64-bit identity of the program placement (order
+     * matters: core 0's program is not core 1's).  Mixed into
+     * chip-aware evaluation-cache keys.
+     */
+    std::uint64_t key() const;
+};
+
+/**
+ * @p count deterministic @p cores-wide mixes over the SPEC suite.
+ *
+ * @param cores programs per mix (2 and 4 are the paper-style
+ *        co-run widths; any value in [1, 26] works).
+ * @param count number of mixes to draw.
+ * @param seed RNG seed (ADAPTSIM_MIX_SEED; default 2010).
+ */
+std::vector<CoRunMix> specMixes(std::size_t cores, std::size_t count,
+                                std::uint64_t seed = 2010);
+
+} // namespace adaptsim::workload
+
+#endif // ADAPTSIM_WORKLOAD_MIX_HH

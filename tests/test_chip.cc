@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests of the multi-core chip model and the chip-session seam.
+ *
+ * The single most important property here: a one-core Chip is
+ * bit-identical to the original single-core path — the frozen golden
+ * matrix from test_pipeline must hold, value for value, when the
+ * same runs go through Chip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/gather.hh"
+#include "sim/chip_session.hh"
+#include "sim/perf_model.hh"
+#include "uarch/chip.hh"
+#include "workload/mix.hh"
+#include "workload/spec_suite.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::uarch;
+
+namespace
+{
+
+constexpr std::uint64_t programLength = 100000;
+
+/** Same windowing as test_pipeline's runOn, through a 1-core Chip. */
+SimResult
+chipRunOn(const std::string &bench, const space::Configuration &cfg,
+          std::uint64_t warm = 8000, std::uint64_t detail = 4000)
+{
+    const auto wl = workload::specBenchmark(bench, programLength);
+    workload::WrongPathGenerator wp(wl.averageParams(),
+                                    wl.seed() ^ 0x57a71cULL);
+    Chip chip(ChipConfig::homogeneous(cfg, 1), {&wp});
+    chip.warm(0, wl.generate(40000 - warm, warm));
+    const auto res = chip.run({wl.generate(40000, detail)});
+    return res.cores[0];
+}
+
+/** A small-LLC 2-core chip geometry that makes contention visible
+ *  on 4000-µop traces. */
+ChipConfig
+smallChip(const space::Configuration &cfg, std::size_t cores)
+{
+    auto chip = ChipConfig::homogeneous(cfg, cores);
+    chip.llcBytes = 256 * 1024;
+    chip.llcBanks = 2;
+    chip.llcMshrsPerBank = 2;
+    return chip;
+}
+
+struct CoRunSetup
+{
+    std::vector<workload::Workload> workloads;
+    std::vector<std::unique_ptr<workload::WrongPathGenerator>> wps;
+    std::vector<workload::WrongPathGenerator *> wpp;
+    std::vector<std::vector<isa::MicroOp>> warm, detail;
+    std::vector<std::span<const isa::MicroOp>> traces;
+};
+
+CoRunSetup
+coRunSetup(const std::vector<std::string> &benches)
+{
+    CoRunSetup s;
+    for (const auto &b : benches) {
+        s.workloads.push_back(
+            workload::specBenchmark(b, programLength));
+        const auto &wl = s.workloads.back();
+        s.wps.push_back(
+            std::make_unique<workload::WrongPathGenerator>(
+                wl.averageParams(), wl.seed() ^ 0x57a71cULL));
+        s.warm.push_back(wl.generate(32000, 8000));
+        s.detail.push_back(wl.generate(40000, 4000));
+    }
+    for (auto &wp : s.wps)
+        s.wpp.push_back(wp.get());
+    for (auto &d : s.detail)
+        s.traces.emplace_back(d);
+    return s;
+}
+
+} // namespace
+
+TEST(Chip, SingleCoreMatchesTheFrozenGoldenMatrix)
+{
+    // The exact values frozen in test_pipeline's
+    // GoldenResultsAreFrozen: N=1 through Chip must reproduce them
+    // bit-for-bit (no LLC is attached, the quantum is unbounded).
+    struct Golden
+    {
+        const char *bench;
+        std::uint64_t cycles, committedOps, mispredicts, dcMisses,
+            wrongPathOps;
+    };
+    const Golden goldens[] = {
+        {"eon", 4609ull, 4000ull, 13ull, 104ull, 381ull},
+        {"gcc", 12152ull, 4000ull, 232ull, 816ull, 9580ull},
+        {"mcf", 18507ull, 4000ull, 56ull, 1675ull, 3497ull},
+    };
+    for (const auto &g : goldens) {
+        const auto r =
+            chipRunOn(g.bench, harness::paperBaselineConfig());
+        EXPECT_EQ(r.cycles, g.cycles) << g.bench;
+        EXPECT_EQ(r.events.committedOps, g.committedOps) << g.bench;
+        EXPECT_EQ(r.events.mispredicts, g.mispredicts) << g.bench;
+        EXPECT_EQ(r.events.dcMisses, g.dcMisses) << g.bench;
+        EXPECT_EQ(r.events.wrongPathOps, g.wrongPathOps) << g.bench;
+        // And no LLC events: the single-core chip has no LLC.
+        EXPECT_EQ(r.events.llcAccesses, 0u) << g.bench;
+    }
+}
+
+TEST(Chip, CoRunIsDeterministic)
+{
+    auto runOnce = [] {
+        auto s = coRunSetup({"mcf", "gcc"});
+        Chip chip(smallChip(harness::paperBaselineConfig(), 2),
+                  s.wpp);
+        chip.warm(0, s.warm[0]);
+        chip.warm(1, s.warm[1]);
+        return chip.run(s.traces);
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+        EXPECT_EQ(a.cores[c].events.llcAccesses,
+                  b.cores[c].events.llcAccesses);
+        EXPECT_EQ(a.occupancyShare[c], b.occupancyShare[c]);
+    }
+}
+
+TEST(Chip, CoRunShowsInterference)
+{
+    // The controlled comparison: the same core, same chip geometry,
+    // with and without a co-runner.  Contention (bank queueing, LLC
+    // competition) can only slow the measured core down.
+    auto solo = coRunSetup({"mcf", "gcc"});
+    Chip alone(smallChip(harness::paperBaselineConfig(), 2),
+               solo.wpp);
+    alone.warm(0, solo.warm[0]);
+    const auto solo_res =
+        alone.run({solo.traces[0], std::span<const isa::MicroOp>{}});
+
+    auto both = coRunSetup({"mcf", "gcc"});
+    Chip chip(smallChip(harness::paperBaselineConfig(), 2),
+              both.wpp);
+    chip.warm(0, both.warm[0]);
+    chip.warm(1, both.warm[1]);
+    const auto corun = chip.run(both.traces);
+
+    EXPECT_EQ(solo_res.cores[0].events.committedOps, 4000u);
+    EXPECT_EQ(corun.cores[0].events.committedOps, 4000u);
+    EXPECT_EQ(corun.cores[1].events.committedOps, 4000u);
+    // Co-run IPC below solo IPC on the contended core.
+    EXPECT_GT(corun.cores[0].cycles, solo_res.cores[0].cycles);
+    // Both cores saw LLC traffic and hold part of the cache.
+    EXPECT_GT(corun.cores[0].events.llcAccesses, 0u);
+    EXPECT_GT(corun.cores[1].events.llcAccesses, 0u);
+    EXPECT_GT(corun.occupancyShare[0], 0.0);
+    EXPECT_GT(corun.occupancyShare[1], 0.0);
+    EXPECT_LE(corun.occupancyShare[0] + corun.occupancyShare[1],
+              1.0 + 1e-12);
+    // Queue cycles are the direct contention signal.
+    EXPECT_GT(corun.cores[0].events.llcQueueCycles +
+                  corun.cores[1].events.llcQueueCycles,
+              0u);
+}
+
+TEST(Chip, ReconfigureCoreKeepsElapsedAndLlcContents)
+{
+    auto s = coRunSetup({"mcf", "gcc"});
+    Chip chip(smallChip(harness::paperBaselineConfig(), 2), s.wpp);
+    chip.warm(0, s.warm[0]);
+    chip.warm(1, s.warm[1]);
+    chip.run(s.traces);
+    const Cycles elapsed0 = chip.elapsed(0);
+    ASSERT_GT(elapsed0, 0u);
+    const auto before = chip.llc()->coreStats(1).linesOwned;
+    ASSERT_GT(before, 0u);
+
+    auto narrow = harness::paperBaselineConfig();
+    narrow.setValue(space::Param::Width, 2);
+    chip.reconfigureCore(0, narrow);
+
+    // The core restarted cold but its clock and the shared LLC
+    // contents (including the *other* core's lines) survived.
+    EXPECT_EQ(chip.elapsed(0), elapsed0);
+    EXPECT_EQ(chip.llc()->coreStats(1).linesOwned, before);
+    const auto res2 = chip.run(s.traces);
+    EXPECT_EQ(res2.cores[0].events.committedOps, 4000u);
+}
+
+TEST(ChipSession, SingleCoreProxyIsPassthrough)
+{
+    // On one core the proxy session must delegate directly to the
+    // backend's CoreSession — same numbers as calling the backend.
+    const auto &interval = sim::perfModel("interval");
+    const auto wl = workload::specBenchmark("swim", programLength);
+    const auto cc = uarch::CoreConfig::fromConfiguration(
+        harness::paperBaselineConfig());
+
+    workload::WrongPathGenerator wp_a(wl.averageParams(),
+                                      wl.seed() ^ 0x57a71cULL);
+    const auto direct = interval.makeSession(cc, wp_a);
+    const auto warm = wl.generate(32000, 8000);
+    const auto detail = wl.generate(40000, 4000);
+    direct->warm(warm);
+    const auto want = interval.run(*direct, detail);
+
+    workload::WrongPathGenerator wp_b(wl.averageParams(),
+                                      wl.seed() ^ 0x57a71cULL);
+    const auto chip = interval.makeChipSession(
+        uarch::ChipConfig::homogeneous(
+            harness::paperBaselineConfig(), 1),
+        {&wp_b});
+    chip->warm(0, warm);
+    const auto got = chip->run({detail});
+    EXPECT_EQ(got.cores[0].cycles, want.cycles);
+    EXPECT_EQ(got.cores[0].events.committedOps,
+              want.events.committedOps);
+}
+
+TEST(ChipSession, ProxyMeasuresInterferenceForAnalyticalBackends)
+{
+    const auto &interval = sim::perfModel("interval");
+    auto s = coRunSetup({"mcf", "gcc"});
+    const auto chip = interval.makeChipSession(
+        smallChip(harness::paperBaselineConfig(), 2), s.wpp);
+    chip->warm(0, s.warm[0]);
+    chip->warm(1, s.warm[1]);
+    const auto res = chip->run(s.traces);
+
+    ASSERT_EQ(res.cores.size(), 2u);
+    EXPECT_EQ(res.cores[0].events.committedOps, 4000u);
+    EXPECT_EQ(res.cores[1].events.committedOps, 4000u);
+    for (std::size_t c = 0; c < 2; ++c) {
+        const auto f = chip->interference(c);
+        EXPECT_GT(f.occupancyShare, 0.0) << c;
+        EXPECT_GE(f.sharedMissRatio, 0.0) << c;
+        EXPECT_LE(f.sharedMissRatio, 1.0) << c;
+    }
+    // Both cores must see per-core metrics with real energy.
+    for (std::size_t c = 0; c < 2; ++c) {
+        const auto m = chip->metricsFor(c, res.cores[c]);
+        EXPECT_GT(m.seconds, 0.0) << c;
+        EXPECT_GT(m.joules, 0.0) << c;
+    }
+}
+
+TEST(ChipSession, CycleBackendWrapsTheRealChip)
+{
+    // The cycle backend's chip session must agree exactly with a
+    // hand-driven uarch::Chip under the same seeds and geometry.
+    const auto &cycle = sim::perfModel("cycle");
+    auto via_session = coRunSetup({"mcf", "gcc"});
+    const auto session = cycle.makeChipSession(
+        smallChip(harness::paperBaselineConfig(), 2),
+        via_session.wpp);
+    session->warm(0, via_session.warm[0]);
+    session->warm(1, via_session.warm[1]);
+    const auto got = session->run(via_session.traces);
+
+    auto direct = coRunSetup({"mcf", "gcc"});
+    Chip chip(smallChip(harness::paperBaselineConfig(), 2),
+              direct.wpp);
+    chip.warm(0, direct.warm[0]);
+    chip.warm(1, direct.warm[1]);
+    const auto want = chip.run(direct.traces);
+
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(got.cores[c].cycles, want.cores[c].cycles) << c;
+        EXPECT_EQ(got.cores[c].events.llcAccesses,
+                  want.cores[c].events.llcAccesses)
+            << c;
+        EXPECT_EQ(got.occupancyShare[c], want.occupancyShare[c]) << c;
+    }
+}
+
+TEST(Mixes, DeterministicAndDistinct)
+{
+    const auto a = workload::specMixes(2, 8, 2010);
+    const auto b = workload::specMixes(2, 8, 2010);
+    ASSERT_EQ(a.size(), 8u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].programs, b[i].programs);
+        EXPECT_EQ(a[i].key(), b[i].key());
+        EXPECT_EQ(a[i].cores(), 2u);
+        // No program co-runs with itself within a mix.
+        EXPECT_NE(a[i].programs[0], a[i].programs[1]);
+    }
+    // A different seed yields a different schedule.
+    const auto c = workload::specMixes(2, 8, 7);
+    bool any_differ = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_differ |= a[i].programs != c[i].programs;
+    EXPECT_TRUE(any_differ);
+    // Order matters in the key: swapped placement is a new identity.
+    workload::CoRunMix swapped = a[0];
+    std::swap(swapped.programs[0], swapped.programs[1]);
+    EXPECT_NE(swapped.key(), a[0].key());
+}
+
+TEST(Mixes, RejectsImpossibleWidths)
+{
+    EXPECT_EXIT(workload::specMixes(0, 1),
+                ::testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(workload::specMixes(27, 1),
+                ::testing::ExitedWithCode(1), "outside");
+}
+
+TEST(ChipConfigKey, SoloIsZeroAndMixesAreStable)
+{
+    const auto base = harness::paperBaselineConfig();
+    EXPECT_EQ(uarch::ChipConfig::homogeneous(base, 1).key(), 0u);
+    const auto two = uarch::ChipConfig::homogeneous(base, 2);
+    EXPECT_NE(two.key(), 0u);
+    EXPECT_EQ(two.key(), uarch::ChipConfig::homogeneous(base, 2).key());
+    EXPECT_NE(two.key(),
+              uarch::ChipConfig::homogeneous(base, 4).key());
+    auto other = two;
+    other.llcBytes /= 2;
+    EXPECT_NE(other.key(), two.key());
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "control/chip_controller.hh"
 #include "control/controller.hh"
 #include "harness/gather.hh"
 #include "harness/learned_trainer.hh"
@@ -254,4 +255,82 @@ TEST(Controller, CascadeTracksCycleLevelDecisions)
     EXPECT_EQ(got.reconfigurations, ref.reconfigurations);
     EXPECT_NEAR(got.seconds, ref.seconds, 0.35 * ref.seconds);
     EXPECT_NEAR(got.joules, ref.joules, 0.35 * ref.joules);
+}
+
+TEST(ChipController, StaticChipAccumulatesAllIntervalsPerCore)
+{
+    const auto a = workload::specBenchmark("gzip", 100000);
+    const auto b = workload::specBenchmark("gap", 100000);
+    const auto chip = uarch::ChipConfig::homogeneous(
+        harness::paperBaselineConfig(), 2);
+    const auto stats =
+        runStaticChip({&a, &b}, harness::paperBaselineConfig(), chip,
+                      30000, 5000);
+    ASSERT_EQ(stats.cores.size(), 2u);
+    for (const auto &core : stats.cores) {
+        EXPECT_EQ(core.intervals, 6u);
+        EXPECT_EQ(core.instructions, 30000u);
+        EXPECT_GT(core.seconds, 0.0);
+        EXPECT_GT(core.joules, 0.0);
+    }
+    EXPECT_EQ(stats.totalInstructions(), 60000u);
+    EXPECT_GT(stats.meanEfficiency(), 0.0);
+    ASSERT_EQ(stats.interference.size(), 2u);
+    EXPECT_GT(stats.interference[0].occupancyShare, 0.0);
+    EXPECT_GT(stats.interference[1].occupancyShare, 0.0);
+}
+
+TEST(ChipController, AdaptiveChipRunsEveryCoreToCompletion)
+{
+    const auto a = workload::specBenchmark("gap", 200000);
+    const auto b = workload::specBenchmark("mcf", 200000);
+    const auto model = dummyModel();
+    ChipControllerOptions opt;
+    opt.intervalLength = 5000;
+    opt.initialConfig = harness::paperBaselineConfig();
+    opt.chip = uarch::ChipConfig::homogeneous(
+        harness::paperBaselineConfig(), 2);
+    ChipController controller({&a, &b}, model, opt);
+    const auto stats = controller.run(60000);
+
+    ASSERT_EQ(stats.cores.size(), 2u);
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(stats.cores[c].intervals, 12u) << c;
+        EXPECT_EQ(stats.cores[c].instructions, 60000u) << c;
+        EXPECT_GE(stats.cores[c].profilingIntervals, 1u) << c;
+        // Each core keeps its own per-phase prediction table.
+        EXPECT_EQ(stats.cores[c].profilingIntervals,
+                  controller.phasePredictions(c).size())
+            << c;
+    }
+}
+
+TEST(ChipController, SingleCoreChipMatchesTheSingleCoreController)
+{
+    // On a one-core chip the whole chip layer must collapse to the
+    // classic controller: identical interval accounting and timing.
+    const auto wl = workload::specBenchmark("gzip", 200000);
+    const auto model = dummyModel();
+
+    ControllerOptions solo_opt;
+    solo_opt.intervalLength = 5000;
+    solo_opt.initialConfig = harness::paperBaselineConfig();
+    AdaptiveController solo(wl, model, solo_opt);
+    const auto want = solo.run(60000);
+
+    ChipControllerOptions opt;
+    opt.intervalLength = 5000;
+    opt.initialConfig = harness::paperBaselineConfig();
+    opt.chip = uarch::ChipConfig::homogeneous(
+        harness::paperBaselineConfig(), 1);
+    ChipController chip({&wl}, model, opt);
+    const auto got = chip.run(60000);
+
+    ASSERT_EQ(got.cores.size(), 1u);
+    EXPECT_EQ(got.cores[0].intervals, want.intervals);
+    EXPECT_EQ(got.cores[0].instructions, want.instructions);
+    EXPECT_EQ(got.cores[0].phaseChanges, want.phaseChanges);
+    EXPECT_EQ(got.cores[0].reconfigurations, want.reconfigurations);
+    EXPECT_EQ(got.cores[0].seconds, want.seconds);
+    EXPECT_EQ(got.cores[0].joules, want.joules);
 }

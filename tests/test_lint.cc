@@ -445,3 +445,24 @@ TEST(ThreadAnnotations, MacrosCompileOutWithoutClang)
               1u);
 #endif
 }
+
+TEST(Lint, DeterminismCoversTheChipModelFiles)
+{
+    // The multi-core chip layer must stay inside the determinism
+    // scope file by file: a stray entropy source in the shared LLC
+    // or the mix generator would silently break co-run cache keys.
+    const char *files[] = {
+        "src/uarch/shared_llc.cc",
+        "src/uarch/chip.cc",
+        "src/uarch/cache_hierarchy.cc",
+        "src/workload/mix.cc",
+        "src/sim/chip_session.cc",
+        "src/control/chip_controller.cc",
+        "src/control/core_policy.cc",
+    };
+    for (const char *f : files) {
+        const auto d = lint(f, "int f() { return rand(); }\n");
+        ASSERT_EQ(d.size(), 1u) << f;
+        EXPECT_EQ(d[0].rule, "determinism") << f;
+    }
+}

@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "common/serial.hh"
+#include "harness/gather.hh"
 #include "obs/obs.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "uarch/chip.hh"
+#include "workload/spec_suite.hh"
 
 using adaptsim::obs::Histogram;
 using adaptsim::obs::Registry;
@@ -448,6 +451,107 @@ TEST(Span, RecordsIntoGlobalRegistryAndTrace)
     const std::string json = adaptsim::readFile(path);
     EXPECT_TRUE(JsonChecker(json).valid()) << json;
     EXPECT_NE(json.find("test/span"), std::string::npos);
+}
+
+#endif // ADAPTSIM_OBS_ENABLED
+
+TEST(Registry, PerCoreLabelledCountersMergeAcrossThreads)
+{
+    // One `chip/core/<i>/...` label per worker thread, the way the
+    // chip loop emits them: the merge must keep the labels distinct
+    // and lose nothing when the writer threads retire.
+    Registry reg;
+    constexpr int kCores = 4;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kCores; ++c) {
+        threads.emplace_back([&reg, c] {
+            auto &ctr = reg.counter("chip/core/" +
+                                    std::to_string(c) + "/quanta");
+            for (int i = 0; i < 250 * (c + 1); ++i)
+                ctr.add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int c = 0; c < kCores; ++c) {
+        EXPECT_EQ(reg.counter("chip/core/" + std::to_string(c) +
+                              "/quanta")
+                      .value(),
+                  std::uint64_t(250 * (c + 1)))
+            << c;
+    }
+    EXPECT_EQ(reg.snapshot().counters.size(), std::size_t(kCores));
+}
+
+namespace
+{
+
+/** Timed 2-core co-run; returns the per-core committed-op counts. */
+std::vector<std::uint64_t>
+runTwoCoreChip()
+{
+    using namespace adaptsim;
+    const auto a = workload::specBenchmark("gzip", 100000);
+    const auto b = workload::specBenchmark("gap", 100000);
+    workload::WrongPathGenerator wa(a.averageParams(),
+                                    a.seed() ^ 0x57a71cULL);
+    workload::WrongPathGenerator wb(b.averageParams(),
+                                    b.seed() ^ 0x57a71cULL);
+    uarch::Chip chip(uarch::ChipConfig::homogeneous(
+                         harness::paperBaselineConfig(), 2),
+                     {&wa, &wb});
+    const auto ta = a.generate(0, 5000);
+    const auto tb = b.generate(0, 5000);
+    const auto res = chip.run({ta, tb});
+    return {res.cores[0].events.committedOps,
+            res.cores[1].events.committedOps};
+}
+
+} // namespace
+
+#if ADAPTSIM_OBS_ENABLED
+
+TEST(ChipObs, ChipRunEmitsPerCoreLabelledCounters)
+{
+    auto &reg = Registry::global();
+    std::vector<std::uint64_t> ops_before, quanta_before;
+    for (int c = 0; c < 2; ++c) {
+        const std::string base = "chip/core/" + std::to_string(c);
+        ops_before.push_back(
+            reg.counter(base + "/committed_ops").value());
+        quanta_before.push_back(
+            reg.counter(base + "/quanta").value());
+    }
+
+    const auto committed = runTwoCoreChip();
+
+    for (int c = 0; c < 2; ++c) {
+        const std::string base = "chip/core/" + std::to_string(c);
+        EXPECT_EQ(reg.counter(base + "/committed_ops").value() -
+                      ops_before[c],
+                  committed[c])
+            << c;
+        // 5000 µops at the default 2000-µop quantum: 3 slices.
+        EXPECT_EQ(reg.counter(base + "/quanta").value() -
+                      quanta_before[c],
+                  3u)
+            << c;
+    }
+}
+
+#else // !ADAPTSIM_OBS_ENABLED
+
+TEST(ChipObs, CompiledOutChipRunRegistersNothing)
+{
+    // -DADAPTSIM_OBS=OFF: the chip loop's OBS_ONLY blocks vanish, so
+    // a co-run must not create any per-core counters at all.
+    runTwoCoreChip();
+    EXPECT_EQ(
+        Registry::global().findCounter("chip/core/0/committed_ops"),
+        nullptr);
+    EXPECT_EQ(Registry::global().findCounter("chip/core/0/quanta"),
+              nullptr);
 }
 
 #endif // ADAPTSIM_OBS_ENABLED

@@ -19,6 +19,7 @@
 #include "harness/learned_trainer.hh"
 #include "harness/repository.hh"
 #include "sim/cascade_model.hh"
+#include "sim/cycle_level_model.hh"
 #include "sim/learned_model.hh"
 #include "sim/perf_model.hh"
 #include "space/sampling.hh"
@@ -247,7 +248,7 @@ TEST_F(RepositoryTest, InterruptedFlushKeepsCompletedRecords)
     // Simulate a gather killed mid-write: a full-size record of
     // garbage (checksum cannot match), a torn partial append, and
     // an orphaned temp file from an interrupted atomic rewrite.
-    ASSERT_TRUE(appendFileSync(binPath(), std::string(72, '\xab')));
+    ASSERT_TRUE(appendFileSync(binPath(), std::string(88, '\xab')));
     ASSERT_TRUE(appendFileSync(binPath(), "torn-tail"));
     ASSERT_TRUE(atomicWriteFile(binPath() + ".orphan", "junk"));
     std::ofstream(binPath() + ".tmp") << "partial";
@@ -348,7 +349,7 @@ TEST_F(RepositoryTest, ShardTornTailOnlyCostsTheTornRecords)
         if (std::filesystem::exists(shardFile(i)))
             victim = shardFile(i);
     ASSERT_FALSE(victim.empty());
-    ASSERT_TRUE(appendFileSync(victim, std::string(80, '\xcd')));
+    ASSERT_TRUE(appendFileSync(victim, std::string(88, '\xcd')));
     ASSERT_TRUE(appendFileSync(victim, "torn"));
 
     EvalRepository repo(workload::specSuite(60000), dir_, 0, 3);
@@ -636,7 +637,7 @@ TEST_F(RepositoryTest, V1BinaryCacheIsMigratedAsCycleLevel)
     // The flush rewrote the file in the current format...
     const auto bytes = readFile(binPath());
     ASSERT_GE(bytes.size(), 24u);
-    EXPECT_EQ(getU64(bytes.data() + 8), 2u);
+    EXPECT_EQ(getU64(bytes.data() + 8), 3u);
 
     // ...and the record round-trips bit-exactly through it.
     EvalRepository repo2(workload::specSuite(60000), dir_, 0);
@@ -644,6 +645,93 @@ TEST_F(RepositoryTest, V1BinaryCacheIsMigratedAsCycleLevel)
     EXPECT_EQ(repo2.simulationsRun(), 0u);
     EXPECT_EQ(repo2.stats().migrated, 0u);
     EXPECT_TRUE(bitIdentical(again, fake));
+}
+
+namespace
+{
+
+/** Hand-built format-2 cache image: 24-byte header (version 2) plus
+ *  one 80-byte record without a chip-mix word. */
+std::string
+v2CacheImage(std::uint64_t tag, std::uint64_t code,
+             const EvalRecord &r)
+{
+    std::string bytes("ADSIMEVC", 8);
+    putU64(bytes, 2);
+    putU64(bytes, fnv1a64(bytes.data(), 16));
+    const std::size_t start = bytes.size();
+    putU64(bytes, code);
+    putU64(bytes, tag);
+    putDouble(bytes, r.cycles);
+    putDouble(bytes, r.instructions);
+    putDouble(bytes, r.seconds);
+    putDouble(bytes, r.joules);
+    putDouble(bytes, r.ipc);
+    putDouble(bytes, r.watts);
+    putDouble(bytes, r.efficiency);
+    putU64(bytes, fnv1a64(bytes.data() + start, 72));
+    return bytes;
+}
+
+} // namespace
+
+TEST_F(RepositoryTest, V2BinaryCacheIsMigratedAsSoloChip)
+{
+    // A pre-chip (version-2) cache file: every record in it was a
+    // solo single-core run, so migration keeps the backend tag and
+    // assigns chip key 0 — exactly what solo evaluations look up.
+    const EvalRecord fake{200.0, 1500.0, 0.4, 0.3, 1.2, 2.0, 37.0};
+    const std::uint64_t code = paperBaselineConfig().encode();
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(atomicWriteFile(
+        binPath(),
+        v2CacheImage(sim::CycleLevelModel::kCacheTag, code, fake)));
+
+    EvalRecord served;
+    {
+        EvalRepository repo(workload::specSuite(60000), dir_, 0);
+        served = repo.evaluate(spec(), paperBaselineConfig());
+        EXPECT_EQ(repo.simulationsRun(), 0u);
+        EXPECT_EQ(repo.cacheHits(), 1u);
+        EXPECT_TRUE(bitIdentical(served, fake));
+        EXPECT_EQ(repo.stats().migrated, 1u);
+        repo.flush();
+    }
+
+    // The flush rewrote the file as version 3, and the record
+    // round-trips bit-exactly through the new format.
+    const auto bytes = readFile(binPath());
+    ASSERT_GE(bytes.size(), 24u);
+    EXPECT_EQ(getU64(bytes.data() + 8), 3u);
+    EvalRepository repo2(workload::specSuite(60000), dir_, 0);
+    const auto again = repo2.evaluate(spec(), paperBaselineConfig());
+    EXPECT_EQ(repo2.simulationsRun(), 0u);
+    EXPECT_EQ(repo2.stats().migrated, 0u);
+    EXPECT_TRUE(bitIdentical(again, fake));
+}
+
+TEST_F(RepositoryTest, ChipMixRecordsNeverAnswerSoloLookups)
+{
+    // The same workload window under a chip mix is a different cache
+    // identity: its own file stem, its own chip key in every record.
+    EvalRepository repo(workload::specSuite(60000), dir_, 0);
+    PhaseSpec solo = spec();
+    PhaseSpec mixed = spec();
+    mixed.chipMix = 0xfeedULL;
+    EXPECT_NE(solo.key(), mixed.key());
+
+    const auto cfg = paperBaselineConfig();
+    const auto a = repo.evaluate(solo, cfg);
+    EXPECT_EQ(repo.simulationsRun(), 1u);
+    const auto b = repo.evaluate(mixed, cfg);
+    EXPECT_EQ(repo.simulationsRun(), 2u);
+    EXPECT_TRUE(bitIdentical(a, b));   // same trace, solo timing
+
+    // Each spec now hits its own entry without cross-talk.
+    repo.evaluate(solo, cfg);
+    repo.evaluate(mixed, cfg);
+    EXPECT_EQ(repo.simulationsRun(), 2u);
+    EXPECT_EQ(repo.cacheHits(), 2u);
 }
 
 TEST_F(RepositoryTest, BackendsNeverShareCacheEntries)

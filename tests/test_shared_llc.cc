@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests of the banked shared LLC (tags, contention, accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "uarch/shared_llc.hh"
+
+using namespace adaptsim;
+using namespace adaptsim::uarch;
+
+namespace
+{
+
+/** Small geometry so eviction and contention are easy to force. */
+LlcConfig
+tinyConfig()
+{
+    LlcConfig cfg;
+    cfg.bytes = 64 * 1024;   // 64 sets at 16-way / 64 B lines
+    cfg.banks = 4;
+    cfg.mshrsPerBank = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SharedLlc, GeometryMustBePowerOfTwo)
+{
+    LlcConfig bad = tinyConfig();
+    bad.banks = 3;
+    EXPECT_EXIT((SharedLlc{bad, 2}),
+                ::testing::ExitedWithCode(1), "power of two");
+    bad = tinyConfig();
+    bad.bytes = 96 * 1024;   // 96 sets: not a power of two
+    EXPECT_EXIT((SharedLlc{bad, 2}),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(SharedLlc, MissThenHitOnTheSameLine)
+{
+    SharedLlc llc(tinyConfig(), 2);
+    const auto miss = llc.access(0x1000, false, 0, 0);
+    EXPECT_FALSE(miss.hit);
+    // A later access to the same line hits and is much cheaper.
+    const auto hit = llc.access(0x1000, false, 0, 1000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_LT(hit.latency, miss.latency);
+    const auto s = llc.coreStats(0);
+    EXPECT_EQ(s.accesses, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(SharedLlc, HitLatencyIsBusPlusHit)
+{
+    const LlcConfig cfg = tinyConfig();
+    SharedLlc llc(cfg, 1);
+    llc.warmAccess(0x2000, false, 0);
+    // An uncontended hit pays exactly the bus + hit latency.
+    const auto h = llc.access(0x2000, false, 0, 10000);
+    EXPECT_TRUE(h.hit);
+    EXPECT_EQ(h.latency, cfg.busLatency + cfg.hitLatency);
+    EXPECT_EQ(h.queueCycles, 0);
+}
+
+TEST(SharedLlc, BankQueueDelaysBackToBackRequests)
+{
+    const LlcConfig cfg = tinyConfig();
+    SharedLlc llc(cfg, 2);
+    // Two lines mapping to the same bank (same low line-address
+    // bits), warmed so both accesses are hits.
+    const Addr a = 0x0;
+    const Addr b = a + std::uint64_t(cfg.lineBytes) * cfg.banks;
+    llc.warmAccess(a, false, 0);
+    llc.warmAccess(b, false, 1);
+
+    // Same arrival time: the second request waits for the bank.
+    const auto first = llc.access(a, false, 0, 5000);
+    const auto second = llc.access(b, false, 1, 5000);
+    EXPECT_TRUE(first.hit);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(first.queueCycles, 0);
+    EXPECT_GT(second.queueCycles, 0);
+    EXPECT_GT(second.latency, first.latency);
+}
+
+TEST(SharedLlc, MshrExhaustionStallsFurtherMisses)
+{
+    const LlcConfig cfg = tinyConfig();   // 2 MSHRs per bank
+    SharedLlc llc(cfg, 1);
+    const std::uint64_t stride =
+        std::uint64_t(cfg.lineBytes) * cfg.banks;
+
+    // Fill both MSHRs of bank 0 with simultaneous misses, spaced so
+    // the bank queue alone cannot explain the third one's wait.
+    const auto m1 = llc.access(0 * stride, false, 0, 0);
+    const auto m2 = llc.access(1 * stride, false, 0, 0);
+    const auto m3 = llc.access(2 * stride, false, 0, 0);
+    EXPECT_FALSE(m1.hit);
+    EXPECT_FALSE(m2.hit);
+    EXPECT_FALSE(m3.hit);
+    // The third miss waits for an MSHR on top of the bank queue; the
+    // earliest outstanding miss completes a full memLatency later.
+    EXPECT_GT(m3.queueCycles, m2.queueCycles);
+    EXPECT_GE(m3.queueCycles, cfg.memLatency / 2);
+}
+
+TEST(SharedLlc, OccupancyTracksLineOwnership)
+{
+    SharedLlc llc(tinyConfig(), 2);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        llc.warmAccess(i * 64, false, 0);
+    for (std::uint64_t i = 32; i < 48; ++i)
+        llc.warmAccess(i * 64, false, 1);
+
+    // Shares are over total capacity (64 sets x 16 ways = 1024
+    // lines), so a mostly-empty cache reports small shares.
+    EXPECT_EQ(llc.coreStats(0).linesOwned, 32u);
+    EXPECT_EQ(llc.coreStats(1).linesOwned, 16u);
+    EXPECT_NEAR(llc.occupancyShare(0), 32.0 / 1024.0, 1e-12);
+    EXPECT_NEAR(llc.occupancyShare(1), 16.0 / 1024.0, 1e-12);
+    EXPECT_NEAR(llc.occupancyShare(0) + llc.occupancyShare(1),
+                48.0 / 1024.0, 1e-12);
+}
+
+TEST(SharedLlc, OwnershipTransfersOnRefill)
+{
+    SharedLlc llc(tinyConfig(), 2);
+    llc.warmAccess(0x4000, false, 0);
+    EXPECT_EQ(llc.coreStats(0).linesOwned, 1u);
+
+    // Core 1 touching the same (present) line does NOT steal it —
+    // ownership is fill-based, not access-based.
+    llc.warmAccess(0x4000, false, 1);
+    EXPECT_EQ(llc.coreStats(0).linesOwned, 1u);
+    EXPECT_EQ(llc.coreStats(1).linesOwned, 0u);
+
+    // After a flush, core 1's refill owns the line.
+    llc.flush();
+    EXPECT_EQ(llc.coreStats(0).linesOwned, 0u);
+    llc.warmAccess(0x4000, false, 1);
+    EXPECT_EQ(llc.coreStats(1).linesOwned, 1u);
+}
+
+TEST(SharedLlc, SharedMissRatioPerCore)
+{
+    SharedLlc llc(tinyConfig(), 2);
+    llc.warmAccess(0x8000, false, 0);
+    // Core 0: two hits.  Core 1: one miss, one hit.
+    llc.access(0x8000, false, 0, 0);
+    llc.access(0x8000, false, 0, 100);
+    llc.access(0x9000, false, 1, 0);
+    llc.access(0x9000, false, 1, 100);
+    EXPECT_EQ(llc.sharedMissRatio(0), 0.0);
+    EXPECT_NEAR(llc.sharedMissRatio(1), 0.5, 1e-12);
+}
+
+TEST(SharedLlc, ResetStatsKeepsTagsAndOccupancy)
+{
+    SharedLlc llc(tinyConfig(), 1);
+    llc.access(0xa000, false, 0, 0);
+    ASSERT_EQ(llc.coreStats(0).misses, 1u);
+    llc.resetStats();
+    EXPECT_EQ(llc.coreStats(0).accesses, 0u);
+    EXPECT_EQ(llc.coreStats(0).misses, 0u);
+    // Tags survived: the line still hits, and stays owned.
+    EXPECT_EQ(llc.coreStats(0).linesOwned, 1u);
+    EXPECT_TRUE(llc.access(0xa000, false, 0, 1000).hit);
+}
+
+TEST(SharedLlc, Deterministic)
+{
+    auto runOnce = [] {
+        SharedLlc llc(tinyConfig(), 2);
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < 4096; ++i) {
+            const auto o = llc.access((i * 2654435761u) & 0x3ffffu,
+                                      (i & 3) == 0, i & 1, i * 2);
+            sum = sum * 31 + std::uint64_t(o.latency) + o.hit;
+        }
+        return sum;
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(SharedLlc, ConcurrentAccessIsSafe)
+{
+    // Thread-safety-by-construction smoke test: hammer one instance
+    // from several threads.  Run under TSan in tier-1, this is the
+    // test that proves the internal mutex actually covers every
+    // public entry point; the assertions only check accounting sanity
+    // (cross-thread timing is intentionally not deterministic).
+    SharedLlc llc(tinyConfig(), 4);
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kAccesses = 5000;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&llc, t] {
+            for (std::uint64_t i = 0; i < kAccesses; ++i) {
+                llc.access(((t * 977 + i) * 64) & 0xfffff,
+                           (i & 7) == 0, t, i);
+                if ((i & 63) == 0) {
+                    llc.occupancyShare(t);
+                    llc.sharedMissRatio(t);
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < kThreads; ++t)
+        total += llc.coreStats(t).accesses;
+    EXPECT_EQ(total, kThreads * kAccesses);
+}
